@@ -1,0 +1,63 @@
+// Figure 7: model quality vs average transmitted data volume per iteration
+// (normalized to baseline), for (a) big classification, (b) language
+// modeling, (c) recommendation — including the TopK vs TopK-EF contrast the
+// paper highlights on the recommendation task.
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace grace;
+  const char* s = std::getenv("GRACE_SCALE");
+  const double scale = s ? std::atof(s) : 1.0;
+
+  struct Panel {
+    char label;
+    sim::Benchmark bench;
+  };
+  std::vector<Panel> panels;
+  panels.push_back({'a', sim::make_mlp_classification(scale)});
+  panels.push_back({'b', sim::make_lstm_lm(scale)});
+  panels.push_back({'c', sim::make_ncf_recommendation(scale)});
+
+  std::printf("Figure 7: quality vs relative data volume per iteration\n");
+  for (auto& [label, b] : panels) {
+    const bool classification = b.quality_metric == "top1-accuracy";
+    std::printf("\n(%c) %s - %s\n", label, b.task.c_str(), b.model.c_str());
+    bench::print_rule(86);
+    std::printf("%-18s %5s %14s %12s %16s\n", "compressor", "EF", "KB/iter",
+                "rel-volume", b.quality_metric.c_str());
+    bench::print_rule(86);
+    double base_volume = 0.0;
+    auto roster = bench::evaluation_roster();
+    if (b.model == "ncf") roster.push_back("topk(0.01)+noef");
+    for (const auto& entry : roster) {
+      std::string spec = entry;
+      std::optional<bool> ef_override;
+      if (const auto at = spec.find("+noef"); at != std::string::npos) {
+        spec = spec.substr(0, at);
+        ef_override = false;
+      }
+      sim::TrainConfig cfg = sim::default_config(b);
+      cfg.grace.compressor_spec = spec;
+      cfg.grace.error_feedback = ef_override;
+      bench::apply_paper_overrides(spec, cfg, classification);
+      sim::RunResult run = sim::train(b.factory, cfg);
+      if (spec == "none") base_volume = run.wire_bytes_per_iter;
+      const double quality = run.quality_metric == "test-perplexity"
+                                 ? -run.best_quality
+                                 : run.best_quality;
+      std::printf("%-18s %5s %14.1f %12.4f %16.4f%s\n", entry.c_str(),
+                  run.error_feedback ? "on" : "off",
+                  run.wire_bytes_per_iter / 1024.0,
+                  base_volume > 0 ? run.wire_bytes_per_iter / base_volume : 1.0,
+                  quality, run.replicas_in_sync ? "" : "  DIVERGED");
+    }
+  }
+  std::printf("\n(paper: more transmitted data broadly implies higher "
+              "quality, with exceptions such as Adaptive; EF hurts TopK on "
+              "the recommendation task only)\n");
+  return 0;
+}

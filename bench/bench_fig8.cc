@@ -1,0 +1,78 @@
+// Figure 8: isolated latency of compress + decompress per compressor for
+// 1 MB / 10 MB / 100 MB inputs (google-benchmark microbenchmark; the paper
+// shows the same sweep as violin plots over 30 repetitions).
+//
+// Pass --quick to use 1/4/16 MB (CI-friendly).
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "core/registry.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using grace::DType;
+using grace::Rng;
+using grace::Shape;
+using grace::Tensor;
+
+std::vector<int64_t> g_sizes_mb = {1, 10, 100};
+
+const Tensor& input_for(int64_t mb) {
+  static std::map<int64_t, Tensor> cache;
+  auto it = cache.find(mb);
+  if (it == cache.end()) {
+    const int64_t n = mb * (1 << 20) / 4;
+    Tensor t(DType::F32, Shape{{n}});
+    Rng rng(static_cast<uint64_t>(mb));
+    rng.fill_normal(t.f32(), 0.0f, 0.5f);
+    it = cache.emplace(mb, std::move(t)).first;
+  }
+  return it->second;
+}
+
+void CompressDecompress(benchmark::State& state, const std::string& spec) {
+  const int64_t mb = state.range(0);
+  const Tensor& grad = input_for(mb);
+  auto q = grace::core::make_compressor(spec);
+  Rng rng(7);
+  for (auto _ : state) {
+    auto ct = q->compress(grad, "bench", rng);
+    Tensor restored = q->decompress(ct);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * mb * (1 << 20));
+  state.SetLabel(spec + " @" + std::to_string(mb) + "MB");
+}
+
+void register_all() {
+  // The paper's Fig. 8 roster (parameters as in its x-axis labels).
+  const std::vector<std::string> roster = {
+      "signsgd",       "efsignsgd",  "terngrad",   "qsgd(64)",
+      "signum",        "onebit",     "thresholdv(0.01)", "topk(0.01)",
+      "randomk(0.01)", "eightbit",   "natural",    "dgc(0.01)",
+      "sketchml(64)",  "adaptive(0.01)", "inceptionn", "powersgd(4)"};
+  for (const auto& spec : roster) {
+    auto* b = benchmark::RegisterBenchmark(
+        ("Fig8/" + spec).c_str(),
+        [spec](benchmark::State& st) { CompressDecompress(st, spec); });
+    for (int64_t mb : g_sizes_mb) b->Arg(mb);
+    b->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_sizes_mb = {1, 4, 16};
+      argv[i] = const_cast<char*>("--benchmark_min_time=0.05");
+    }
+  }
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

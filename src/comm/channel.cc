@@ -1,0 +1,32 @@
+#include "comm/channel.h"
+
+namespace grace::comm {
+
+void Mailbox::put(Message msg) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::take(int src, int tag) {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+size_t Mailbox::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace grace::comm

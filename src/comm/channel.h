@@ -1,0 +1,37 @@
+// In-process message passing. Each rank owns a Mailbox; sends enqueue a
+// copy of the tensor into the destination's mailbox; receives block until a
+// message matching (src, tag) arrives. Tags keep concurrent collectives on
+// the same ranks from interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "tensor/tensor.h"
+
+namespace grace::comm {
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  Tensor payload;
+};
+
+class Mailbox {
+ public:
+  void put(Message msg);
+  // Blocks until a message from `src` with `tag` is available, removes and
+  // returns it. Messages from other (src, tag) pairs are left queued.
+  Message take(int src, int tag);
+
+  size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace grace::comm

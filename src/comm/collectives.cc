@@ -1,0 +1,93 @@
+#include "comm/collectives.h"
+
+#include <cassert>
+
+#include "tensor/ops.h"
+
+namespace grace::comm {
+namespace {
+
+struct ChunkRange {
+  int64_t begin = 0;
+  int64_t size = 0;
+};
+
+// Near-equal split of [0, n) into `parts` ranges (first n % parts ranges get
+// one extra element). Empty ranges are valid when n < parts.
+ChunkRange chunk_range(int64_t n, int parts, int idx) {
+  const int64_t base = n / parts;
+  const int64_t extra = n % parts;
+  ChunkRange r;
+  r.begin = idx * base + std::min<int64_t>(idx, extra);
+  r.size = base + (idx < extra ? 1 : 0);
+  return r;
+}
+
+Tensor slice_to_tensor(std::span<const float> data, ChunkRange r) {
+  return Tensor::from(data.subspan(static_cast<size_t>(r.begin), static_cast<size_t>(r.size)));
+}
+
+}  // namespace
+
+void allreduce_sum(Comm& comm, std::span<float> data, int tag) {
+  const int n = comm.size();
+  if (n == 1) return;
+  const int rank = comm.rank();
+  const int next = (rank + 1) % n;
+  const int prev = (rank + n - 1) % n;
+  const auto total = static_cast<int64_t>(data.size());
+
+  // Phase 1: reduce-scatter. After n-1 steps, rank r holds the full sum of
+  // chunk (r+1) mod n.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_chunk = (rank - step + n) % n;
+    const int recv_chunk = (rank - step - 1 + 2 * n) % n;
+    comm.send(next, slice_to_tensor(data, chunk_range(total, n, send_chunk)), tag);
+    Tensor incoming = comm.recv(prev, tag);
+    const ChunkRange r = chunk_range(total, n, recv_chunk);
+    assert(incoming.numel() == r.size);
+    ops::add(data.subspan(static_cast<size_t>(r.begin), static_cast<size_t>(r.size)), incoming.f32());
+  }
+  // Phase 2: allgather of the reduced chunks.
+  for (int step = 0; step < n - 1; ++step) {
+    const int send_chunk = (rank - step + 1 + n) % n;
+    const int recv_chunk = (rank - step + 2 * n) % n;
+    comm.send(next, slice_to_tensor(data, chunk_range(total, n, send_chunk)), tag);
+    Tensor incoming = comm.recv(prev, tag);
+    const ChunkRange r = chunk_range(total, n, recv_chunk);
+    assert(incoming.numel() == r.size);
+    ops::copy(data.subspan(static_cast<size_t>(r.begin), static_cast<size_t>(r.size)), incoming.f32());
+  }
+}
+
+std::vector<Tensor> allgather(Comm& comm, const Tensor& mine, int tag) {
+  const int n = comm.size();
+  const int rank = comm.rank();
+  std::vector<Tensor> out(static_cast<size_t>(n));
+  out[static_cast<size_t>(rank)] = mine;
+  for (int peer = 0; peer < n; ++peer) {
+    if (peer != rank) comm.send(peer, mine, tag);
+  }
+  for (int peer = 0; peer < n; ++peer) {
+    if (peer != rank) out[static_cast<size_t>(peer)] = comm.recv(peer, tag);
+  }
+  return out;
+}
+
+void broadcast(Comm& comm, Tensor& tensor, int root, int tag) {
+  if (comm.size() == 1) return;
+  if (comm.rank() == root) {
+    for (int peer = 0; peer < comm.size(); ++peer) {
+      if (peer != root) comm.send(peer, tensor, tag);
+    }
+  } else {
+    tensor = comm.recv(root, tag);
+  }
+}
+
+void barrier(Comm& comm, int tag) {
+  float token = 1.0f;
+  allreduce_sum(comm, std::span<float>(&token, 1), tag);
+}
+
+}  // namespace grace::comm

@@ -1,0 +1,29 @@
+// Collective operations over a Comm handle. These are really executed by
+// concurrent worker threads — every rank must call the same collective with
+// the same tag. Semantics mirror Horovod's Allreduce / Allgather / Broadcast.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/world.h"
+
+namespace grace::comm {
+
+// In-place sum across all ranks (ring reduce-scatter + ring allgather).
+// Every rank ends with the element-wise sum. Deterministic: the chunk sum
+// order depends only on ring topology, not thread scheduling.
+void allreduce_sum(Comm& comm, std::span<float> data, int tag = 0);
+
+// Gathers one tensor per rank, returned in rank order. Tensors may have
+// different shapes/dtypes on different ranks (needed for sparsifiers whose
+// selected size differs per worker).
+std::vector<Tensor> allgather(Comm& comm, const Tensor& mine, int tag = 0);
+
+// Root's tensor is copied to every rank; other ranks' input is replaced.
+void broadcast(Comm& comm, Tensor& tensor, int root, int tag = 0);
+
+// All ranks wait until every rank has arrived.
+void barrier(Comm& comm, int tag = 0);
+
+}  // namespace grace::comm

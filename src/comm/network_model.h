@@ -1,0 +1,49 @@
+// Alpha-beta cost model for the simulated cluster network.
+//
+// The in-process collectives are executed for real (correct aggregation);
+// this model supplies the *time* those collectives would have taken on the
+// paper's testbed: n workers connected by point-to-point links of a given
+// bandwidth, using either kernel TCP or RDMA transports. Per-message software
+// overhead and payload efficiency differ by transport, which is what makes
+// RDMA consistently faster in Figure 9 even at equal link speed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace grace::comm {
+
+enum class Transport { Tcp, Rdma };
+
+struct NetworkModel {
+  int n_workers = 8;
+  double bandwidth_gbps = 10.0;  // per-link, each direction
+  Transport transport = Transport::Tcp;
+  double latency_us = 10.0;      // one-way propagation + switching
+
+  // Effective payload bytes/second after transport efficiency.
+  double effective_bytes_per_sec() const;
+  // Fixed software cost charged per message (syscalls, interrupts for TCP;
+  // doorbell + completion for RDMA).
+  double per_message_overhead_sec() const;
+
+  // Ring allreduce of a `bytes`-sized dense buffer: 2(n-1) steps, each
+  // moving bytes/n per rank.
+  double allreduce_seconds(size_t bytes) const;
+  // Direct allgather where this rank contributes `my_bytes` and receives
+  // everyone else's payloads totalling `others_bytes`.
+  double allgather_seconds(size_t my_bytes, size_t others_bytes) const;
+  // Root sends `bytes` to n-1 peers.
+  double broadcast_seconds(size_t bytes) const;
+  // Parameter-server round: the server's link absorbs every worker's
+  // compressed upload, then pushes the (dense) aggregate back to n-1
+  // workers. The server link is the bottleneck on both phases.
+  double parameter_server_seconds(size_t total_upload_bytes,
+                                  size_t download_bytes) const;
+
+  std::string to_string() const;
+};
+
+std::string transport_name(Transport t);
+
+}  // namespace grace::comm

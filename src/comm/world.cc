@@ -1,0 +1,24 @@
+#include "comm/world.h"
+
+#include <cassert>
+
+namespace grace::comm {
+
+World::World(int n) {
+  assert(n >= 1);
+  mailboxes_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dst, Tensor payload, int tag) {
+  bytes_sent_ += payload.size_bytes();
+  world_->mailbox(dst).put(Message{rank_, tag, std::move(payload)});
+}
+
+Tensor Comm::recv(int src, int tag) {
+  return world_->mailbox(rank_).take(src, tag).payload;
+}
+
+}  // namespace grace::comm

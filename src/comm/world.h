@@ -1,0 +1,48 @@
+// A World is the set of communication endpoints for n ranks (one per
+// worker thread), analogous to an MPI communicator. Comm is the per-rank
+// handle used inside worker threads.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "comm/channel.h"
+
+namespace grace::comm {
+
+class World;
+
+class Comm {
+ public:
+  Comm(World* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  void send(int dst, Tensor payload, int tag = 0);
+  Tensor recv(int src, int tag = 0);
+
+  // Bytes this rank has pushed through send() since construction; the
+  // trainer uses it to sanity-check the cost model's byte accounting.
+  size_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  World* world_;
+  int rank_;
+  size_t bytes_sent_ = 0;
+};
+
+class World {
+ public:
+  explicit World(int n);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  Comm comm(int rank) { return Comm(this, rank); }
+  Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<size_t>(rank)); }
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace grace::comm

@@ -1,0 +1,121 @@
+#include "core/compressed.h"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace grace::core {
+namespace {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void put(T v) {
+    const auto at = buf_.size();
+    buf_.resize(at + sizeof(T));
+    std::memcpy(buf_.data() + at, &v, sizeof(T));
+  }
+  void put_bytes(std::span<const std::byte> bytes) {
+    const auto at = buf_.size();
+    buf_.resize(at + bytes.size());
+    std::memcpy(buf_.data() + at, bytes.data(), bytes.size());
+  }
+  Tensor finish() const {
+    Tensor t(DType::U8, Shape{{static_cast<int64_t>(buf_.size())}});
+    std::memcpy(t.bytes().data(), buf_.data(), buf_.size());
+    return t;
+  }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+  template <typename T>
+  T get() {
+    T v;
+    check(sizeof(T));
+    std::memcpy(&v, data_.data() + at_, sizeof(T));
+    at_ += sizeof(T);
+    return v;
+  }
+  void get_bytes(std::span<std::byte> out) {
+    check(out.size());
+    std::memcpy(out.data(), data_.data() + at_, out.size());
+    at_ += out.size();
+  }
+
+ private:
+  void check(size_t n) const {
+    if (at_ + n > data_.size()) {
+      throw std::runtime_error("CompressedTensor deserialize: truncated blob");
+    }
+  }
+  std::span<const std::byte> data_;
+  size_t at_ = 0;
+};
+
+void put_shape(ByteWriter& w, const Shape& s) {
+  w.put<uint32_t>(static_cast<uint32_t>(s.rank()));
+  for (int64_t d : s.dims()) w.put<int64_t>(d);
+}
+
+Shape get_shape(ByteReader& r) {
+  const auto rank = r.get<uint32_t>();
+  std::vector<int64_t> dims(rank);
+  for (auto& d : dims) d = r.get<int64_t>();
+  return Shape(std::move(dims));
+}
+
+}  // namespace
+
+uint64_t CompressedTensor::storage_bytes() const {
+  uint64_t total = 0;
+  for (const auto& p : parts) total += p.size_bytes();
+  return total;
+}
+
+Tensor serialize(const CompressedTensor& ct) {
+  ByteWriter w;
+  w.put<uint32_t>(static_cast<uint32_t>(ct.parts.size()));
+  for (const auto& p : ct.parts) {
+    w.put<uint8_t>(static_cast<uint8_t>(p.dtype()));
+    put_shape(w, p.shape());
+    w.put_bytes(p.bytes());
+  }
+  put_shape(w, ct.ctx.shape);
+  w.put<uint32_t>(static_cast<uint32_t>(ct.ctx.scalars.size()));
+  for (float s : ct.ctx.scalars) w.put<float>(s);
+  w.put<uint32_t>(static_cast<uint32_t>(ct.ctx.ints.size()));
+  for (int64_t i : ct.ctx.ints) w.put<int64_t>(i);
+  w.put<uint64_t>(ct.ctx.wire_bits);
+  return w.finish();
+}
+
+CompressedTensor deserialize(const Tensor& blob) {
+  assert(blob.dtype() == DType::U8);
+  ByteReader r(blob.bytes());
+  CompressedTensor ct;
+  const auto n_parts = r.get<uint32_t>();
+  ct.parts.reserve(n_parts);
+  for (uint32_t i = 0; i < n_parts; ++i) {
+    const auto dtype = static_cast<DType>(r.get<uint8_t>());
+    Shape shape = get_shape(r);
+    Tensor t(dtype, std::move(shape));
+    r.get_bytes(t.bytes());
+    ct.parts.push_back(std::move(t));
+  }
+  ct.ctx.shape = get_shape(r);
+  const auto n_scalars = r.get<uint32_t>();
+  ct.ctx.scalars.resize(n_scalars);
+  for (auto& s : ct.ctx.scalars) s = r.get<float>();
+  const auto n_ints = r.get<uint32_t>();
+  ct.ctx.ints.resize(n_ints);
+  for (auto& i : ct.ctx.ints) i = r.get<int64_t>();
+  ct.ctx.wire_bits = r.get<uint64_t>();
+  return ct;
+}
+
+}  // namespace grace::core

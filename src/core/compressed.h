@@ -1,0 +1,30 @@
+// The unit of compressed communication: a list of payload tensors (the
+// `[comp]` of the GRACE API) plus the decompression context. Also provides
+// byte-exact serialization to a single u8 tensor so compressed payloads of
+// any structure can ride the Allgather/Broadcast collectives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/context.h"
+#include "tensor/tensor.h"
+
+namespace grace::core {
+
+struct CompressedTensor {
+  std::vector<Tensor> parts;
+  Context ctx;
+
+  // Logical wire size (ideal bit packing), rounded up to whole bytes.
+  uint64_t wire_bytes() const { return (ctx.wire_bits + 7) / 8; }
+  // Actual bytes held in the payload tensors (our in-memory representation;
+  // >= wire_bytes when a method stores codes unpacked for speed).
+  uint64_t storage_bytes() const;
+};
+
+// Serialize to a flat byte tensor and back. Round-trip is bit-exact.
+Tensor serialize(const CompressedTensor& ct);
+CompressedTensor deserialize(const Tensor& blob);
+
+}  // namespace grace::core

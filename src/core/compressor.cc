@@ -1,0 +1,30 @@
+#include "core/compressor.h"
+
+#include <cassert>
+
+#include "tensor/ops.h"
+
+namespace grace::core {
+
+Tensor Compressor::aggregate(const std::vector<Tensor>& decompressed) const {
+  assert(!decompressed.empty());
+  Tensor out = decompressed.front();
+  for (size_t i = 1; i < decompressed.size(); ++i) {
+    ops::add(out.f32(), decompressed[i].f32());
+  }
+  ops::scale(out.f32(), 1.0f / static_cast<float>(decompressed.size()));
+  return out;
+}
+
+std::string compressor_class_name(CompressorClass c) {
+  switch (c) {
+    case CompressorClass::None: return "Baseline";
+    case CompressorClass::Quantization: return "Quantization";
+    case CompressorClass::Sparsification: return "Sparsification";
+    case CompressorClass::Hybrid: return "Hybrid";
+    case CompressorClass::LowRank: return "Low-Rank";
+  }
+  return "?";
+}
+
+}  // namespace grace::core

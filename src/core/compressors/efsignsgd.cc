@@ -1,0 +1,46 @@
+// EF-SignSGD (Karimireddy et al., ICML'19): sign compression with a scale
+// ||p||_1 / d so the decompressed magnitude matches the input on average,
+// run under error-feedback memory (the framework supplies Eq. 4 with
+// beta = 1, gamma = learning rate, per the paper's §V-A settings).
+#include "core/compressors/compressors.h"
+#include "core/helper_ops.h"
+#include "tensor/ops.h"
+
+namespace grace::core::compressors {
+namespace {
+
+class EfSignSgd final : public Compressor {
+ public:
+  CompressedTensor compress(const Tensor& grad, const std::string&, Rng&) override {
+    auto x = grad.f32();
+    const float scale =
+        x.empty() ? 0.0f : ops::l1_norm(x) / static_cast<float>(x.size());
+    CompressedTensor ct;
+    ct.parts = {pack_signs(x)};
+    ct.ctx.shape = grad.shape();
+    ct.ctx.scalars = {scale};
+    ct.ctx.wire_bits = static_cast<uint64_t>(grad.numel()) + 32;
+    return ct;
+  }
+
+  Tensor decompress(const CompressedTensor& ct) const override {
+    Tensor out = Tensor::zeros(ct.ctx.shape);
+    auto o = out.f32();
+    unpack_signs(ct.parts.at(0), o);
+    ops::scale(o, ct.ctx.scalars.at(0));
+    return out;
+  }
+
+  CompressorInfo info() const override {
+    return {"efsignsgd", CompressorClass::Quantization, QNature::Deterministic,
+            true, "||g||_0"};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_efsignsgd() {
+  return std::make_unique<EfSignSgd>();
+}
+
+}  // namespace grace::core::compressors

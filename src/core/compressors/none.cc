@@ -1,0 +1,36 @@
+// Baseline: identity "compression". Payload is the raw float32 gradient and
+// rides Allreduce (summing commutes with the identity).
+#include "core/compressors/compressors.h"
+
+namespace grace::core::compressors {
+namespace {
+
+class NoneCompressor final : public Compressor {
+ public:
+  CompressedTensor compress(const Tensor& grad, const std::string&, Rng&) override {
+    CompressedTensor ct;
+    ct.parts = {grad};
+    ct.ctx.shape = grad.shape();
+    ct.ctx.wire_bits = static_cast<uint64_t>(grad.numel()) * 32;
+    return ct;
+  }
+
+  Tensor decompress(const CompressedTensor& ct) const override {
+    return ct.parts.at(0).reshaped(ct.ctx.shape);
+  }
+
+  CommMode comm_mode() const override { return CommMode::Allreduce; }
+
+  CompressorInfo info() const override {
+    return {"none", CompressorClass::None, QNature::Deterministic, false,
+            "||g||_0"};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_none() {
+  return std::make_unique<NoneCompressor>();
+}
+
+}  // namespace grace::core::compressors

@@ -1,0 +1,58 @@
+// 1-bit SGD (Seide et al., INTERSPEECH'14): elements below the threshold
+// (0) quantize to '0', the rest to '1'; decompression maps the two codes to
+// the mean of the negative and non-negative values respectively. Designed
+// to run with error-feedback memory (the paper that introduced it).
+#include "core/compressors/compressors.h"
+#include "core/helper_ops.h"
+
+namespace grace::core::compressors {
+namespace {
+
+class OneBit final : public Compressor {
+ public:
+  CompressedTensor compress(const Tensor& grad, const std::string&, Rng&) override {
+    auto x = grad.f32();
+    double neg_sum = 0.0, pos_sum = 0.0;
+    int64_t neg_n = 0, pos_n = 0;
+    for (float v : x) {
+      if (v < 0.0f) {
+        neg_sum += v;
+        ++neg_n;
+      } else {
+        pos_sum += v;
+        ++pos_n;
+      }
+    }
+    const float neg_mean = neg_n ? static_cast<float>(neg_sum / neg_n) : 0.0f;
+    const float pos_mean = pos_n ? static_cast<float>(pos_sum / pos_n) : 0.0f;
+    CompressedTensor ct;
+    ct.parts = {pack_signs(x)};
+    ct.ctx.shape = grad.shape();
+    ct.ctx.scalars = {neg_mean, pos_mean};
+    ct.ctx.wire_bits = static_cast<uint64_t>(grad.numel()) + 64;
+    return ct;
+  }
+
+  Tensor decompress(const CompressedTensor& ct) const override {
+    Tensor out = Tensor::zeros(ct.ctx.shape);
+    auto o = out.f32();
+    unpack_signs(ct.parts.at(0), o);
+    const float neg_mean = ct.ctx.scalars.at(0);
+    const float pos_mean = ct.ctx.scalars.at(1);
+    for (auto& v : o) v = v > 0.0f ? pos_mean : neg_mean;
+    return out;
+  }
+
+  CompressorInfo info() const override {
+    return {"onebit", CompressorClass::Quantization, QNature::Deterministic,
+            true, "||g||_0"};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_onebit() {
+  return std::make_unique<OneBit>();
+}
+
+}  // namespace grace::core::compressors

@@ -1,0 +1,74 @@
+// QSGD (Alistarh et al., NeurIPS'17): codebook quantization with randomized
+// rounding. Each |g[i]| / ||g||_2 lands in a level interval [l/s, (l+1)/s]
+// and rounds up with probability s|g[i]|/||g||_2 - l, making the operator
+// unbiased. Code words use ceil(log2(s+1)) bits plus a sign bit.
+#include <cmath>
+
+#include "core/compressors/compressors.h"
+#include "tensor/ops.h"
+
+namespace grace::core::compressors {
+namespace {
+
+class Qsgd final : public Compressor {
+ public:
+  explicit Qsgd(int levels) : s_(levels) {}
+
+  CompressedTensor compress(const Tensor& grad, const std::string&, Rng& rng) override {
+    auto x = grad.f32();
+    const float norm = ops::l2_norm(x);
+    Tensor codes(DType::U8, Shape{{grad.numel()}});
+    Tensor signs(DType::U8, Shape{{(grad.numel() + 7) / 8}});
+    auto c = codes.u8();
+    auto sg = signs.u8();
+    std::fill(sg.begin(), sg.end(), 0);
+    for (size_t i = 0; i < x.size(); ++i) {
+      const float ratio = norm > 0.0f ? std::fabs(x[i]) / norm : 0.0f;
+      auto level = static_cast<int>(ratio * static_cast<float>(s_));
+      const float p = ratio * static_cast<float>(s_) - static_cast<float>(level);
+      if (rng.bernoulli(p)) ++level;
+      if (level > s_) level = s_;
+      c[i] = static_cast<uint8_t>(level);
+      if (x[i] >= 0.0f) sg[i / 8] = static_cast<uint8_t>(sg[i / 8] | (1u << (i % 8)));
+    }
+    CompressedTensor ct;
+    ct.parts = {std::move(codes), std::move(signs)};
+    ct.ctx.shape = grad.shape();
+    ct.ctx.scalars = {norm};
+    const auto code_bits = static_cast<uint64_t>(
+        std::ceil(std::log2(static_cast<double>(s_) + 1.0)));
+    ct.ctx.wire_bits = static_cast<uint64_t>(grad.numel()) * (code_bits + 1) + 32;
+    return ct;
+  }
+
+  Tensor decompress(const CompressedTensor& ct) const override {
+    Tensor out = Tensor::zeros(ct.ctx.shape);
+    auto o = out.f32();
+    auto c = ct.parts.at(0).u8();
+    auto sg = ct.parts.at(1).u8();
+    const float norm = ct.ctx.scalars.at(0);
+    for (size_t i = 0; i < o.size(); ++i) {
+      const float mag =
+          norm * static_cast<float>(c[i]) / static_cast<float>(s_);
+      const bool positive = (sg[i / 8] >> (i % 8)) & 1u;
+      o[i] = positive ? mag : -mag;
+    }
+    return out;
+  }
+
+  CompressorInfo info() const override {
+    return {"qsgd", CompressorClass::Quantization, QNature::Random, false,
+            "||g||_0"};
+  }
+
+ private:
+  int s_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_qsgd(int levels) {
+  return std::make_unique<Qsgd>(levels);
+}
+
+}  // namespace grace::core::compressors

@@ -1,0 +1,38 @@
+// SignSGD (Bernstein et al., ICML'18): transmit only the sign of every
+// gradient element. Decompression yields ±1; aggregation averages the signs
+// across workers (the continuous relaxation of majority vote).
+#include "core/compressors/compressors.h"
+#include "core/helper_ops.h"
+
+namespace grace::core::compressors {
+namespace {
+
+class SignSgd final : public Compressor {
+ public:
+  CompressedTensor compress(const Tensor& grad, const std::string&, Rng&) override {
+    CompressedTensor ct;
+    ct.parts = {pack_signs(grad.f32())};
+    ct.ctx.shape = grad.shape();
+    ct.ctx.wire_bits = static_cast<uint64_t>(grad.numel());
+    return ct;
+  }
+
+  Tensor decompress(const CompressedTensor& ct) const override {
+    Tensor out = Tensor::zeros(ct.ctx.shape);
+    unpack_signs(ct.parts.at(0), out.f32());
+    return out;
+  }
+
+  CompressorInfo info() const override {
+    return {"signsgd", CompressorClass::Quantization, QNature::Deterministic,
+            false, "||g||_0"};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_signsgd() {
+  return std::make_unique<SignSgd>();
+}
+
+}  // namespace grace::core::compressors

@@ -1,0 +1,57 @@
+// SIGNUM (Bernstein et al., ICLR'19): SignSGD applied to a locally
+// maintained momentum of the gradient, m <- beta*m + (1-beta)*g, instead of
+// the raw gradient. The momentum lives inside the compressor, keyed per
+// tensor, so it never crosses the wire.
+#include <unordered_map>
+
+#include "core/compressors/compressors.h"
+#include "core/helper_ops.h"
+#include "tensor/ops.h"
+
+namespace grace::core::compressors {
+namespace {
+
+class Signum final : public Compressor {
+ public:
+  explicit Signum(double beta) : beta_(static_cast<float>(beta)) {}
+
+  CompressedTensor compress(const Tensor& grad, const std::string& name,
+                            Rng&) override {
+    auto [it, inserted] = momentum_.try_emplace(name, Tensor::zeros_like(grad));
+    Tensor& m = it->second;
+    if (inserted) {
+      ops::copy(m.f32(), grad.f32());
+    } else {
+      ops::scale(m.f32(), beta_);
+      ops::axpy(m.f32(), 1.0f - beta_, grad.f32());
+    }
+    CompressedTensor ct;
+    ct.parts = {pack_signs(m.f32())};
+    ct.ctx.shape = grad.shape();
+    ct.ctx.wire_bits = static_cast<uint64_t>(grad.numel());
+    return ct;
+  }
+
+  Tensor decompress(const CompressedTensor& ct) const override {
+    Tensor out = Tensor::zeros(ct.ctx.shape);
+    unpack_signs(ct.parts.at(0), out.f32());
+    return out;
+  }
+
+  CompressorInfo info() const override {
+    return {"signum", CompressorClass::Quantization, QNature::Deterministic,
+            false, "||g||_0"};
+  }
+
+ private:
+  float beta_;
+  std::unordered_map<std::string, Tensor> momentum_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_signum(double beta) {
+  return std::make_unique<Signum>(beta);
+}
+
+}  // namespace grace::core::compressors

@@ -1,0 +1,88 @@
+// SketchML (Jiang et al., SIGMOD'18): sketch-based hybrid compression. A
+// non-uniform quantile sketch is built from a sample of the gradient values;
+// every element is encoded as the index of its quantile bucket
+// (log2(buckets) bits) and decoded to the bucket's representative value.
+#include <algorithm>
+#include <cmath>
+
+#include "core/compressors/compressors.h"
+#include "tensor/ops.h"
+
+namespace grace::core::compressors {
+namespace {
+
+constexpr int64_t kSketchSample = 1024;
+
+class SketchMl final : public Compressor {
+ public:
+  explicit SketchMl(int buckets) : buckets_(buckets) {}
+
+  CompressedTensor compress(const Tensor& grad, const std::string&, Rng& rng) override {
+    auto x = grad.f32();
+    const auto d = static_cast<int64_t>(x.size());
+    // Build the quantile sketch from a random sample (signed values, like
+    // SketchML's non-uniform quantile buckets).
+    const int64_t sample_n = std::min(d, kSketchSample);
+    std::vector<float> sample(static_cast<size_t>(sample_n));
+    for (auto& s : sample) s = x[static_cast<size_t>(rng.uniform_int(d))];
+    std::sort(sample.begin(), sample.end());
+    // Bucket b covers sample quantile range [b/B, (b+1)/B); its
+    // representative is the sample midpoint of that range.
+    std::vector<float> boundaries(static_cast<size_t>(buckets_) - 1);
+    std::vector<float> representatives(static_cast<size_t>(buckets_));
+    for (int b = 0; b + 1 < buckets_; ++b) {
+      const auto at = static_cast<size_t>(
+          static_cast<double>(b + 1) / buckets_ * static_cast<double>(sample_n - 1));
+      boundaries[static_cast<size_t>(b)] = sample[at];
+    }
+    for (int b = 0; b < buckets_; ++b) {
+      const auto lo = static_cast<size_t>(
+          static_cast<double>(b) / buckets_ * static_cast<double>(sample_n - 1));
+      const auto hi = static_cast<size_t>(
+          static_cast<double>(b + 1) / buckets_ * static_cast<double>(sample_n - 1));
+      representatives[static_cast<size_t>(b)] = sample[(lo + hi) / 2];
+    }
+
+    Tensor codes(DType::U8, Shape{{d}});
+    auto c = codes.u8();
+    for (int64_t i = 0; i < d; ++i) {
+      const auto it = std::upper_bound(boundaries.begin(), boundaries.end(),
+                                       x[static_cast<size_t>(i)]);
+      c[static_cast<size_t>(i)] = static_cast<uint8_t>(it - boundaries.begin());
+    }
+    CompressedTensor ct;
+    ct.parts = {std::move(codes),
+                Tensor::from(representatives)};
+    ct.ctx.shape = grad.shape();
+    const auto code_bits = static_cast<uint64_t>(
+        std::ceil(std::log2(static_cast<double>(buckets_))));
+    ct.ctx.wire_bits =
+        static_cast<uint64_t>(d) * code_bits + static_cast<uint64_t>(buckets_) * 32;
+    return ct;
+  }
+
+  Tensor decompress(const CompressedTensor& ct) const override {
+    Tensor out = Tensor::zeros(ct.ctx.shape);
+    auto o = out.f32();
+    auto c = ct.parts.at(0).u8();
+    auto reps = ct.parts.at(1).f32();
+    for (size_t i = 0; i < o.size(); ++i) o[i] = reps[c[i]];
+    return out;
+  }
+
+  CompressorInfo info() const override {
+    return {"sketchml", CompressorClass::Hybrid, QNature::Random, true,
+            "adaptive"};
+  }
+
+ private:
+  int buckets_;
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_sketchml(int buckets) {
+  return std::make_unique<SketchMl>(buckets);
+}
+
+}  // namespace grace::core::compressors

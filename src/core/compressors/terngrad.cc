@@ -1,0 +1,55 @@
+// TernGrad (Wen et al., NeurIPS'17): ternary levels {-1, 0, 1} scaled by
+// ||g||_inf. A Bernoulli mask keeps element i with probability
+// |g[i]| / ||g||_inf, which makes the operator unbiased. Two bits per
+// element on the wire.
+#include <cmath>
+
+#include "core/compressors/compressors.h"
+#include "core/helper_ops.h"
+#include "tensor/ops.h"
+
+namespace grace::core::compressors {
+namespace {
+
+class TernGrad final : public Compressor {
+ public:
+  CompressedTensor compress(const Tensor& grad, const std::string&, Rng& rng) override {
+    auto x = grad.f32();
+    const float scale = ops::linf_norm(x);
+    std::vector<uint8_t> codes(x.size(), 1);  // 0: -1, 1: 0, 2: +1
+    for (size_t i = 0; i < x.size(); ++i) {
+      const float p = scale > 0.0f ? std::fabs(x[i]) / scale : 0.0f;
+      if (rng.bernoulli(p)) codes[i] = x[i] < 0.0f ? 0 : 2;
+    }
+    CompressedTensor ct;
+    ct.parts = {pack(codes, 2)};
+    ct.ctx.shape = grad.shape();
+    ct.ctx.scalars = {scale};
+    ct.ctx.wire_bits = static_cast<uint64_t>(grad.numel()) * 2 + 32;
+    return ct;
+  }
+
+  Tensor decompress(const CompressedTensor& ct) const override {
+    Tensor out = Tensor::zeros(ct.ctx.shape);
+    auto o = out.f32();
+    const float scale = ct.ctx.scalars.at(0);
+    const auto codes = unpack(ct.parts.at(0), 2, ct.ctx.shape.numel());
+    for (size_t i = 0; i < o.size(); ++i) {
+      o[i] = scale * (static_cast<float>(codes[i]) - 1.0f);
+    }
+    return out;
+  }
+
+  CompressorInfo info() const override {
+    return {"terngrad", CompressorClass::Quantization, QNature::Random, false,
+            "||g||_0"};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Compressor> make_terngrad() {
+  return std::make_unique<TernGrad>();
+}
+
+}  // namespace grace::core::compressors

@@ -1,0 +1,25 @@
+// Decompression context (`ctx` in the GRACE API): the opaque metadata a
+// compressor needs to reconstruct a tensor with the original shape and
+// dtype — e.g. the original shape plus norms/means/thresholds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace grace::core {
+
+struct Context {
+  Shape shape;                  // shape of the original (uncompressed) tensor
+  std::vector<float> scalars;   // method-specific metadata (norms, means, ...)
+  std::vector<int64_t> ints;    // method-specific metadata (counts, params, ...)
+  // Logical wire size of the compressed representation in bits, assuming
+  // ideal bit packing (1 bit per sign, log2(levels) per code word, 4 bytes
+  // per float32, ...). This is what the paper's "data volume" metric counts.
+  uint64_t wire_bits = 0;
+
+  bool operator==(const Context& o) const = default;
+};
+
+}  // namespace grace::core

@@ -1,0 +1,144 @@
+#include "core/grace_world.h"
+
+#include <ctime>
+
+#include "core/registry.h"
+#include "tensor/ops.h"
+
+namespace grace::core {
+namespace {
+
+// Per-thread CPU time: worker threads time-share cores, so wall clock would
+// attribute scheduler gaps to compression. CPU time measures the kernels'
+// real cost regardless of contention.
+double now_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+ExchangeStats& ExchangeStats::operator+=(const ExchangeStats& o) {
+  wire_bytes += o.wire_bytes;
+  compress_seconds += o.compress_seconds;
+  decompress_seconds += o.decompress_seconds;
+  comm_seconds += o.comm_seconds;
+  return *this;
+}
+
+GraceWorker::GraceWorker(const GraceConfig& cfg, comm::Comm comm,
+                         comm::NetworkModel net, uint64_t rng_seed)
+    : topology_(cfg.topology),
+      q_(make_compressor(cfg.compressor_spec)),
+      comm_(comm),
+      net_(net),
+      rng_(rng_seed) {
+  const bool ef = cfg.error_feedback.value_or(q_->info().default_error_feedback);
+  if (ef) {
+    memory_ = std::make_unique<ResidualMemory>(cfg.ef_beta, cfg.ef_gamma);
+  } else {
+    memory_ = std::make_unique<NoMemory>();
+  }
+}
+
+Tensor GraceWorker::exchange(const Tensor& grad, const std::string& name,
+                             ExchangeStats* stats) {
+  ExchangeStats local;
+  const int tag = next_tag_++;
+
+  // Lines 5-6: g~ = Q(phi(m, g)); m = psi(...).
+  double t0 = now_seconds();
+  Tensor compensated = memory_->compensate(grad, name);
+  CompressedTensor compressed = q_->compress(compensated, name, rng_);
+  if (memory_->enabled()) {
+    memory_->update(name, compensated, q_->decompress(compressed));
+  }
+  local.compress_seconds = now_seconds() - t0;
+  local.wire_bytes = compressed.wire_bytes();
+
+  Tensor aggregated =
+      topology_ == Topology::ParameterServer
+          ? exchange_parameter_server(compressed, tag, local)
+          : exchange_collective(compressed, tag, local);
+
+  if (stats) *stats += local;
+  return aggregated;
+}
+
+Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
+                                        int tag, ExchangeStats& stats) {
+  Tensor aggregated;
+  if (q_->comm_mode() == CommMode::Allreduce) {
+    // Lines 8-9: summing payloads commutes with Q^-1 for Allreduce-capable
+    // compressors; divide by n after decompression.
+    CompressedTensor summed = compressed;
+    for (auto& part : summed.parts) {
+      comm::allreduce_sum(comm_, part.f32(), tag);
+    }
+    stats.comm_seconds += net_.allreduce_seconds(stats.wire_bytes);
+    const double t0 = now_seconds();
+    aggregated = q_->decompress(summed);
+    ops::scale(aggregated.f32(), 1.0f / static_cast<float>(comm_.size()));
+    stats.decompress_seconds += now_seconds() - t0;
+  } else {
+    // Lines 11-13: gather every worker's payload, decompress all, Agg.
+    Tensor blob = serialize(compressed);
+    std::vector<Tensor> blobs = comm::allgather(comm_, blob, tag);
+    const double t0 = now_seconds();
+    std::vector<Tensor> decompressed;
+    decompressed.reserve(blobs.size());
+    uint64_t others_bytes = 0;
+    for (int peer = 0; peer < static_cast<int>(blobs.size()); ++peer) {
+      if (peer == comm_.rank()) {
+        decompressed.push_back(q_->decompress(compressed));
+      } else {
+        CompressedTensor ct = deserialize(blobs[static_cast<size_t>(peer)]);
+        others_bytes += ct.wire_bytes();
+        decompressed.push_back(q_->decompress(ct));
+      }
+    }
+    aggregated = q_->aggregate(decompressed);
+    stats.decompress_seconds += now_seconds() - t0;
+    stats.comm_seconds += net_.allgather_seconds(stats.wire_bytes, others_bytes);
+  }
+  return aggregated;
+}
+
+Tensor GraceWorker::exchange_parameter_server(const CompressedTensor& compressed,
+                                              int tag, ExchangeStats& stats) {
+  // Rank 0 acts as the parameter server: it collects every worker's
+  // compressed payload, decompresses, aggregates (Agg), and pushes the
+  // dense aggregate back. Equivalent result to the Allgather path because
+  // aggregation visits ranks in the same order.
+  const int n = comm_.size();
+  Tensor aggregated;
+  uint64_t total_upload = stats.wire_bytes;
+  if (comm_.rank() == 0) {
+    std::vector<Tensor> decompressed;
+    decompressed.reserve(static_cast<size_t>(n));
+    const double t0 = now_seconds();
+    decompressed.push_back(q_->decompress(compressed));
+    stats.decompress_seconds += now_seconds() - t0;
+    for (int peer = 1; peer < n; ++peer) {
+      CompressedTensor ct = deserialize(comm_.recv(peer, tag));
+      total_upload += ct.wire_bytes();
+      const double t1 = now_seconds();
+      decompressed.push_back(q_->decompress(ct));
+      stats.decompress_seconds += now_seconds() - t1;
+    }
+    aggregated = q_->aggregate(decompressed);
+    for (int peer = 1; peer < n; ++peer) comm_.send(peer, aggregated, tag);
+  } else {
+    comm_.send(0, serialize(compressed), tag);
+    aggregated = comm_.recv(0, tag);
+    // Workers do not know the other uploads' exact sizes; charge the
+    // model's symmetric estimate (n equal uploads).
+    total_upload = stats.wire_bytes * static_cast<uint64_t>(n);
+  }
+  stats.comm_seconds += net_.parameter_server_seconds(
+      total_upload, aggregated.size_bytes());
+  return aggregated;
+}
+
+}  // namespace grace::core

@@ -1,0 +1,77 @@
+// The per-worker GRACE engine: lines 5-14 of Algorithm 1 for one gradient
+// tensor. Owns the worker's compressor instance (with its per-tensor
+// state), the error-feedback memory, and the rank's communication handle.
+//
+// Compression/decompression times are *measured* (the kernels really run);
+// communication time is *simulated* from the NetworkModel using the logical
+// (bit-packed) wire sizes, because the in-process transport has no real NIC.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "comm/collectives.h"
+#include "comm/network_model.h"
+#include "core/compressor.h"
+#include "core/memory.h"
+
+namespace grace::core {
+
+struct ExchangeStats {
+  uint64_t wire_bytes = 0;        // logical bytes this worker transmitted
+  double compress_seconds = 0.0;  // measured: Q + memory update
+  double decompress_seconds = 0.0;  // measured: Q^-1 over received payloads
+  double comm_seconds = 0.0;      // simulated network time
+
+  ExchangeStats& operator+=(const ExchangeStats& o);
+};
+
+// §IV-A: the framework is compatible with parameter-server communication —
+// "a parameter server provides a gradient aggregation function equivalent
+// to Allreduce". Collective uses the compressor's preferred collective;
+// ParameterServer routes compressed uploads through rank 0, which
+// aggregates and pushes the dense result back.
+enum class Topology { Collective, ParameterServer };
+
+struct GraceConfig {
+  std::string compressor_spec = "none";
+  // Error feedback override; unset means the compressor's default (the
+  // EF-On column of Table I).
+  std::optional<bool> error_feedback;
+  float ef_beta = 1.0f;   // beta in Eq. 4
+  float ef_gamma = 1.0f;  // gamma in Eq. 4
+  Topology topology = Topology::Collective;
+};
+
+class GraceWorker {
+ public:
+  GraceWorker(const GraceConfig& cfg, comm::Comm comm,
+              comm::NetworkModel net, uint64_t rng_seed);
+
+  // Compress-communicate-decompress one gradient tensor; every rank must
+  // call this with the same tensor order. Returns the aggregated gradient
+  // g_k (mean across workers, or the compressor's custom Agg).
+  Tensor exchange(const Tensor& grad, const std::string& name,
+                  ExchangeStats* stats = nullptr);
+
+  Compressor& compressor() { return *q_; }
+  bool error_feedback_enabled() const { return memory_->enabled(); }
+  int rank() const { return comm_.rank(); }
+
+ private:
+  Tensor exchange_collective(const CompressedTensor& compressed, int tag,
+                             ExchangeStats& stats);
+  Tensor exchange_parameter_server(const CompressedTensor& compressed, int tag,
+                                   ExchangeStats& stats);
+
+  Topology topology_;
+  std::unique_ptr<Compressor> q_;
+  std::unique_ptr<Memory> memory_;
+  comm::Comm comm_;
+  comm::NetworkModel net_;
+  Rng rng_;
+  int next_tag_ = 1;
+};
+
+}  // namespace grace::core

@@ -1,0 +1,112 @@
+#include "core/helper_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace grace::core {
+
+Quantized quantize(std::span<const float> x, int bits) {
+  return quantize(x, bits, ops::linf_norm(x));
+}
+
+Quantized quantize(std::span<const float> x, int bits, float scale) {
+  assert(bits >= 1 && bits <= 8);
+  Quantized q;
+  q.bits = bits;
+  q.scale = scale;
+  q.codes = Tensor(DType::U8, Shape{{static_cast<int64_t>(x.size())}});
+  auto codes = q.codes.u8();
+  const int levels = (1 << bits) - 1;
+  if (scale <= 0.0f) {
+    std::fill(codes.begin(), codes.end(), static_cast<uint8_t>(levels / 2));
+    return q;
+  }
+  for (size_t i = 0; i < x.size(); ++i) {
+    // Map [-scale, scale] -> [0, levels] with round-to-nearest.
+    const float t = (x[i] / scale + 1.0f) * 0.5f * static_cast<float>(levels);
+    const auto c = static_cast<int>(std::lround(std::clamp(t, 0.0f, static_cast<float>(levels))));
+    codes[i] = static_cast<uint8_t>(c);
+  }
+  return q;
+}
+
+void dequantize(const Quantized& q, std::span<float> out) {
+  auto codes = q.codes.u8();
+  assert(out.size() == codes.size());
+  const int levels = (1 << q.bits) - 1;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = (static_cast<float>(codes[i]) / static_cast<float>(levels) * 2.0f -
+              1.0f) *
+             q.scale;
+  }
+}
+
+Tensor sparsify(std::span<const float> x, std::span<const int32_t> indices) {
+  Tensor values(DType::F32, Shape{{static_cast<int64_t>(indices.size())}});
+  auto v = values.f32();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] >= 0 && static_cast<size_t>(indices[i]) < x.size());
+    v[i] = x[static_cast<size_t>(indices[i])];
+  }
+  return values;
+}
+
+Tensor desparsify(const Tensor& values, std::span<const int32_t> indices,
+                  const Shape& shape) {
+  Tensor out = Tensor::zeros(shape);
+  auto o = out.f32();
+  auto v = values.f32();
+  assert(v.size() == indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    o[static_cast<size_t>(indices[i])] = v[i];
+  }
+  return out;
+}
+
+Tensor pack(std::span<const uint8_t> codes, int bits) {
+  assert(bits == 1 || bits == 2 || bits == 4 || bits == 8);
+  const int per_byte = 8 / bits;
+  const auto n_bytes =
+      (static_cast<int64_t>(codes.size()) + per_byte - 1) / per_byte;
+  Tensor packed(DType::U8, Shape{{n_bytes}});
+  auto out = packed.u8();
+  std::fill(out.begin(), out.end(), 0);
+  const uint8_t mask = static_cast<uint8_t>((1 << bits) - 1);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    const size_t byte = i / static_cast<size_t>(per_byte);
+    const int shift = static_cast<int>(i % static_cast<size_t>(per_byte)) * bits;
+    out[byte] = static_cast<uint8_t>(out[byte] | ((codes[i] & mask) << shift));
+  }
+  return packed;
+}
+
+std::vector<uint8_t> unpack(const Tensor& packed, int bits, int64_t n) {
+  assert(bits == 1 || bits == 2 || bits == 4 || bits == 8);
+  const int per_byte = 8 / bits;
+  const uint8_t mask = static_cast<uint8_t>((1 << bits) - 1);
+  auto in = packed.u8();
+  std::vector<uint8_t> codes(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t byte = static_cast<size_t>(i / per_byte);
+    const int shift = static_cast<int>(i % per_byte) * bits;
+    assert(byte < in.size());
+    codes[static_cast<size_t>(i)] = static_cast<uint8_t>((in[byte] >> shift) & mask);
+  }
+  return codes;
+}
+
+Tensor pack_signs(std::span<const float> x) {
+  std::vector<uint8_t> bits(x.size());
+  for (size_t i = 0; i < x.size(); ++i) bits[i] = x[i] >= 0.0f ? 1 : 0;
+  return pack(bits, 1);
+}
+
+void unpack_signs(const Tensor& packed, std::span<float> out) {
+  const auto codes = unpack(packed, 1, static_cast<int64_t>(out.size()));
+  for (size_t i = 0; i < out.size(); ++i) out[i] = codes[i] ? 1.0f : -1.0f;
+}
+
+}  // namespace grace::core

@@ -1,0 +1,42 @@
+// The GRACE helper API from §IV-B of the paper:
+//   quantize / dequantize   — value -> lower-bit code words and back
+//   sparsify / desparsify   — select elements / restore original shape
+//   pack / unpack           — k-bit code words <-> dense byte buffers
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace grace::core {
+
+// Uniform symmetric quantization of x into 2^bits levels over [-scale, scale]
+// (scale = max |x| unless given). Returns codes in [0, 2^bits - 1];
+// dequantize maps code -> value. bits must be in [1, 8].
+struct Quantized {
+  Tensor codes;  // u8, one code per element
+  float scale = 0.0f;
+  int bits = 8;
+};
+Quantized quantize(std::span<const float> x, int bits);
+Quantized quantize(std::span<const float> x, int bits, float scale);
+void dequantize(const Quantized& q, std::span<float> out);
+
+// Gather x[indices] into a dense values tensor.
+Tensor sparsify(std::span<const float> x, std::span<const int32_t> indices);
+// Scatter values back into a zero-filled tensor of `shape`.
+Tensor desparsify(const Tensor& values, std::span<const int32_t> indices,
+                  const Shape& shape);
+
+// Pack n code words of `bits` bits each (bits in {1,2,4,8}) into a dense u8
+// tensor (little-endian within each byte). unpack restores the code words.
+Tensor pack(std::span<const uint8_t> codes, int bits);
+std::vector<uint8_t> unpack(const Tensor& packed, int bits, int64_t n);
+
+// Convenience: pack a sign bitmask (x[i] >= 0 -> 1) and unpack to ±1 floats.
+Tensor pack_signs(std::span<const float> x);
+void unpack_signs(const Tensor& packed, std::span<float> out);
+
+}  // namespace grace::core

@@ -1,0 +1,142 @@
+#include "core/index_coding.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace grace::core {
+namespace {
+
+class BitWriter {
+ public:
+  void put_bit(int bit) {
+    if (at_ == 0) buf_.push_back(0);
+    if (bit) buf_.back() = static_cast<uint8_t>(buf_.back() | (1u << at_));
+    at_ = (at_ + 1) % 8;
+  }
+  void put_bits(uint32_t value, int count) {
+    for (int i = 0; i < count; ++i) put_bit((value >> i) & 1u);
+  }
+  Tensor finish() const {
+    Tensor t(DType::U8, Shape{{static_cast<int64_t>(buf_.size())}});
+    std::copy(buf_.begin(), buf_.end(), t.u8().begin());
+    return t;
+  }
+
+ private:
+  std::vector<uint8_t> buf_;
+  int at_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const uint8_t> data) : data_(data) {}
+  int get_bit() {
+    assert(byte_ < data_.size());
+    const int bit = (data_[byte_] >> at_) & 1;
+    at_ = (at_ + 1) % 8;
+    if (at_ == 0) ++byte_;
+    return bit;
+  }
+  uint32_t get_bits(int count) {
+    uint32_t v = 0;
+    for (int i = 0; i < count; ++i) v |= static_cast<uint32_t>(get_bit()) << i;
+    return v;
+  }
+
+ private:
+  std::span<const uint8_t> data_;
+  size_t byte_ = 0;
+  int at_ = 0;
+};
+
+}  // namespace
+
+Tensor varint_encode_indices(std::span<const int32_t> indices) {
+  std::vector<uint8_t> out;
+  int32_t prev = -1;
+  for (int32_t idx : indices) {
+    assert(idx > prev);
+    auto delta = static_cast<uint32_t>(idx - prev);
+    prev = idx;
+    while (delta >= 0x80) {
+      out.push_back(static_cast<uint8_t>(delta | 0x80));
+      delta >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(delta));
+  }
+  Tensor t(DType::U8, Shape{{static_cast<int64_t>(out.size())}});
+  std::copy(out.begin(), out.end(), t.u8().begin());
+  return t;
+}
+
+std::vector<int32_t> varint_decode_indices(const Tensor& encoded, int64_t n) {
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(n));
+  auto data = encoded.u8();
+  size_t at = 0;
+  int32_t prev = -1;
+  for (int64_t i = 0; i < n; ++i) {
+    uint32_t delta = 0;
+    int shift = 0;
+    for (;;) {
+      assert(at < data.size());
+      const uint8_t byte = data[at++];
+      delta |= static_cast<uint32_t>(byte & 0x7F) << shift;
+      if (!(byte & 0x80)) break;
+      shift += 7;
+    }
+    prev += static_cast<int32_t>(delta);
+    out.push_back(prev);
+  }
+  return out;
+}
+
+Tensor rice_encode_indices(std::span<const int32_t> indices, int k) {
+  if (k < 0) {
+    // Mean gap -> k = floor(log2(mean)); clamp to sane range.
+    double mean = 1.0;
+    if (!indices.empty()) {
+      mean = static_cast<double>(indices.back() + 1) /
+             static_cast<double>(indices.size());
+    }
+    k = std::max(0, std::min(24, static_cast<int>(std::floor(std::log2(std::max(1.0, mean))))));
+  }
+  BitWriter w;
+  w.put_bits(static_cast<uint32_t>(k), 5);  // header: divisor exponent
+  int32_t prev = -1;
+  for (int32_t idx : indices) {
+    assert(idx > prev);
+    const auto delta = static_cast<uint32_t>(idx - prev - 1);  // gaps >= 0
+    prev = idx;
+    const uint32_t q = delta >> k;
+    for (uint32_t i = 0; i < q; ++i) w.put_bit(1);  // unary quotient
+    w.put_bit(0);
+    w.put_bits(delta & ((1u << k) - 1u), k);  // binary remainder
+  }
+  return w.finish();
+}
+
+std::vector<int32_t> rice_decode_indices(const Tensor& encoded, int64_t n) {
+  BitReader r(encoded.u8());
+  const int k = static_cast<int>(r.get_bits(5));
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(n));
+  int32_t prev = -1;
+  for (int64_t i = 0; i < n; ++i) {
+    uint32_t q = 0;
+    while (r.get_bit()) ++q;
+    const uint32_t rem = r.get_bits(k);
+    const uint32_t delta = (q << k) | rem;
+    prev += static_cast<int32_t>(delta) + 1;
+    out.push_back(prev);
+  }
+  return out;
+}
+
+double bits_per_index(const Tensor& encoded, int64_t n) {
+  return n > 0 ? static_cast<double>(encoded.size_bytes()) * 8.0 /
+                     static_cast<double>(n)
+               : 0.0;
+}
+
+}  // namespace grace::core

@@ -1,0 +1,25 @@
+#include "data/dataset.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace grace::data {
+
+Tensor gather_rows(const Tensor& x, std::span<const int64_t> indices) {
+  assert(x.shape().rank() >= 1);
+  const int64_t row_elems = x.numel() / x.shape()[0];
+  std::vector<int64_t> dims = x.shape().dims();
+  dims[0] = static_cast<int64_t>(indices.size());
+  Tensor out(DType::F32, Shape(std::move(dims)));
+  auto src = x.f32();
+  auto dst = out.f32();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] >= 0 && indices[i] < x.shape()[0]);
+    std::memcpy(dst.data() + static_cast<int64_t>(i) * row_elems,
+                src.data() + indices[i] * row_elems,
+                static_cast<size_t>(row_elems) * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace grace::data

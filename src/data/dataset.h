@@ -1,0 +1,59 @@
+// Synthetic dataset containers. The paper's datasets (CIFAR-10, ImageNet,
+// PTB, MovieLens-20M, DAGM2007) are unavailable in this environment; these
+// generators produce learnable stand-ins with held-out test splits so the
+// quality metrics are real measurements (see DESIGN.md §1 for the
+// substitution rationale).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace grace::data {
+
+struct ImageDataset {
+  Tensor train_x;  // (N, C, H, W)
+  std::vector<int32_t> train_y;
+  Tensor test_x;
+  std::vector<int32_t> test_y;
+  int64_t channels = 0, height = 0, width = 0;
+  int64_t classes = 0;
+
+  int64_t train_size() const { return static_cast<int64_t>(train_y.size()); }
+  int64_t test_size() const { return static_cast<int64_t>(test_y.size()); }
+};
+
+struct TextDataset {
+  std::vector<int32_t> train_tokens;
+  std::vector<int32_t> test_tokens;
+  int64_t vocab = 0;
+};
+
+struct RecsysDataset {
+  int64_t n_users = 0, n_items = 0;
+  // Training interactions (user, item), positives only; negatives are
+  // sampled on the fly by the model.
+  std::vector<std::pair<int32_t, int32_t>> train_pos;
+  // Leave-one-out evaluation: per user, one held-out positive item.
+  std::vector<int32_t> test_item_for_user;
+
+  int64_t train_size() const { return static_cast<int64_t>(train_pos.size()); }
+};
+
+struct SegmentationDataset {
+  Tensor train_x;  // (N, 1, H, W)
+  Tensor train_y;  // (N, 1, H, W) binary masks
+  Tensor test_x;
+  Tensor test_y;
+  int64_t height = 0, width = 0;
+
+  int64_t train_size() const { return train_x.shape()[0]; }
+  int64_t test_size() const { return test_x.shape()[0]; }
+};
+
+// Copies selected samples (rows along dim 0) into a contiguous batch.
+Tensor gather_rows(const Tensor& x, std::span<const int64_t> indices);
+
+}  // namespace grace::data

@@ -1,0 +1,72 @@
+#include "data/synthetic_images.h"
+
+#include <cmath>
+
+namespace grace::data {
+namespace {
+
+// 3x3 box blur per channel so prototypes have spatial structure a
+// convolution can exploit.
+void smooth(std::span<float> img, int64_t c, int64_t h, int64_t w) {
+  std::vector<float> tmp(img.begin(), img.end());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t i = 0; i < h; ++i) {
+      for (int64_t j = 0; j < w; ++j) {
+        float acc = 0.0f;
+        int cnt = 0;
+        for (int64_t di = -1; di <= 1; ++di) {
+          for (int64_t dj = -1; dj <= 1; ++dj) {
+            const int64_t ii = i + di, jj = j + dj;
+            if (ii < 0 || ii >= h || jj < 0 || jj >= w) continue;
+            acc += tmp[static_cast<size_t>((ch * h + ii) * w + jj)];
+            ++cnt;
+          }
+        }
+        img[static_cast<size_t>((ch * h + i) * w + j)] = acc / static_cast<float>(cnt);
+      }
+    }
+  }
+}
+
+void fill_split(Tensor& x, std::vector<int32_t>& y, int64_t n,
+                const Tensor& prototypes, const ImageConfig& cfg, Rng& rng) {
+  const int64_t elems = cfg.channels * cfg.height * cfg.width;
+  x = Tensor(DType::F32, Shape{{n, cfg.channels, cfg.height, cfg.width}});
+  y.resize(static_cast<size_t>(n));
+  auto xv = x.f32();
+  auto pv = prototypes.f32();
+  for (int64_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<int32_t>(i % cfg.classes);  // balanced
+    y[static_cast<size_t>(i)] = cls;
+    auto dst = xv.subspan(static_cast<size_t>(i * elems), static_cast<size_t>(elems));
+    const auto proto = pv.subspan(static_cast<size_t>(cls * elems), static_cast<size_t>(elems));
+    for (int64_t k = 0; k < elems; ++k) {
+      dst[static_cast<size_t>(k)] =
+          proto[static_cast<size_t>(k)] +
+          cfg.noise * static_cast<float>(rng.normal());
+    }
+  }
+}
+
+}  // namespace
+
+ImageDataset make_images(const ImageConfig& cfg) {
+  Rng rng(cfg.seed);
+  const int64_t elems = cfg.channels * cfg.height * cfg.width;
+  Tensor prototypes(DType::F32, Shape{{cfg.classes, cfg.channels, cfg.height, cfg.width}});
+  rng.fill_normal(prototypes.f32(), 0.0f, 1.0f);
+  for (int64_t c = 0; c < cfg.classes; ++c) {
+    smooth(prototypes.f32().subspan(static_cast<size_t>(c * elems), static_cast<size_t>(elems)),
+           cfg.channels, cfg.height, cfg.width);
+  }
+  ImageDataset ds;
+  ds.channels = cfg.channels;
+  ds.height = cfg.height;
+  ds.width = cfg.width;
+  ds.classes = cfg.classes;
+  fill_split(ds.train_x, ds.train_y, cfg.n_train, prototypes, cfg, rng);
+  fill_split(ds.test_x, ds.test_y, cfg.n_test, prototypes, cfg, rng);
+  return ds;
+}
+
+}  // namespace grace::data

@@ -1,0 +1,24 @@
+// Gaussian-mixture image classification (CIFAR-10 stand-in): each class has
+// a smoothed random prototype; samples are prototype + per-sample noise.
+// Class separability is controlled by the signal-to-noise ratio.
+#pragma once
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace grace::data {
+
+struct ImageConfig {
+  int64_t n_train = 2048;
+  int64_t n_test = 512;
+  int64_t classes = 10;
+  int64_t channels = 3;
+  int64_t height = 16;
+  int64_t width = 16;
+  float noise = 0.8f;
+  uint64_t seed = 1234;
+};
+
+ImageDataset make_images(const ImageConfig& cfg);
+
+}  // namespace grace::data

@@ -1,0 +1,47 @@
+#include "data/synthetic_recsys.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace grace::data {
+
+RecsysDataset make_recsys(const RecsysConfig& cfg) {
+  Rng rng(cfg.seed);
+  const auto k = static_cast<size_t>(cfg.latent_dim);
+  std::vector<float> users(static_cast<size_t>(cfg.n_users) * k);
+  std::vector<float> items(static_cast<size_t>(cfg.n_items) * k);
+  rng.fill_normal(users, 0.0f, 1.0f);
+  rng.fill_normal(items, 0.0f, 1.0f);
+
+  RecsysDataset ds;
+  ds.n_users = cfg.n_users;
+  ds.n_items = cfg.n_items;
+  ds.test_item_for_user.resize(static_cast<size_t>(cfg.n_users));
+
+  std::vector<float> scores(static_cast<size_t>(cfg.n_items));
+  std::vector<int32_t> order(static_cast<size_t>(cfg.n_items));
+  for (int64_t u = 0; u < cfg.n_users; ++u) {
+    for (int64_t i = 0; i < cfg.n_items; ++i) {
+      float dot = 0.0f;
+      for (size_t d = 0; d < k; ++d) {
+        dot += users[static_cast<size_t>(u) * k + d] * items[static_cast<size_t>(i) * k + d];
+      }
+      // Noise keeps the preference lists from being a deterministic
+      // function any model could fit perfectly.
+      scores[static_cast<size_t>(i)] = dot + 0.5f * static_cast<float>(rng.normal());
+    }
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + cfg.positives_per_user,
+                      order.end(), [&](int32_t a, int32_t b) {
+                        return scores[static_cast<size_t>(a)] > scores[static_cast<size_t>(b)];
+                      });
+    // First positive is held out for testing; the rest train.
+    ds.test_item_for_user[static_cast<size_t>(u)] = order[0];
+    for (int64_t p = 1; p < cfg.positives_per_user; ++p) {
+      ds.train_pos.emplace_back(static_cast<int32_t>(u), order[static_cast<size_t>(p)]);
+    }
+  }
+  return ds;
+}
+
+}  // namespace grace::data

@@ -1,0 +1,22 @@
+// Latent-factor recommendation data (MovieLens-20M stand-in for NCF).
+// Ground-truth user/item embeddings define affinities; each user's observed
+// positives are their top-scoring items with noise. Evaluation is
+// leave-one-out hit-rate, like the NCF benchmark the paper uses.
+#pragma once
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace grace::data {
+
+struct RecsysConfig {
+  int64_t n_users = 400;
+  int64_t n_items = 600;
+  int64_t latent_dim = 8;
+  int64_t positives_per_user = 12;  // one becomes the held-out test item
+  uint64_t seed = 777;
+};
+
+RecsysDataset make_recsys(const RecsysConfig& cfg);
+
+}  // namespace grace::data

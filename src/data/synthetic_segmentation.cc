@@ -1,0 +1,49 @@
+#include "data/synthetic_segmentation.h"
+
+namespace grace::data {
+namespace {
+
+void fill_split(Tensor& x, Tensor& y, int64_t n, const SegmentationConfig& cfg,
+                Rng& rng) {
+  const int64_t h = cfg.height, w = cfg.width;
+  x = Tensor(DType::F32, Shape{{n, 1, h, w}});
+  y = Tensor(DType::F32, Shape{{n, 1, h, w}});
+  auto xv = x.f32();
+  auto yv = y.f32();
+  for (int64_t img = 0; img < n; ++img) {
+    auto xi = xv.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
+    auto yi = yv.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
+    for (auto& v : xi) v = cfg.noise * static_cast<float>(rng.normal());
+    std::fill(yi.begin(), yi.end(), 0.0f);
+
+    const bool disc = rng.bernoulli(0.5);
+    const int64_t ci = 3 + rng.uniform_int(h - 6);
+    const int64_t cj = 3 + rng.uniform_int(w - 6);
+    const int64_t r = 2 + rng.uniform_int(3);
+    for (int64_t i = 0; i < h; ++i) {
+      for (int64_t j = 0; j < w; ++j) {
+        const bool inside =
+            disc ? (i - ci) * (i - ci) + (j - cj) * (j - cj) <= r * r
+                 : std::abs(i - ci) <= r && std::abs(j - cj) <= r;
+        if (inside) {
+          xi[static_cast<size_t>(i * w + j)] += 1.5f;
+          yi[static_cast<size_t>(i * w + j)] = 1.0f;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SegmentationDataset make_segmentation(const SegmentationConfig& cfg) {
+  Rng rng(cfg.seed);
+  SegmentationDataset ds;
+  ds.height = cfg.height;
+  ds.width = cfg.width;
+  fill_split(ds.train_x, ds.train_y, cfg.n_train, cfg, rng);
+  fill_split(ds.test_x, ds.test_y, cfg.n_test, cfg, rng);
+  return ds;
+}
+
+}  // namespace grace::data

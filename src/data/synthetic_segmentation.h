@@ -1,0 +1,22 @@
+// Shape segmentation data (DAGM2007 stand-in for U-Net). Each image is a
+// textured background with one bright geometric defect (rectangle or disc);
+// the target mask marks the defect's pixels. Quality metric is IoU.
+#pragma once
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace grace::data {
+
+struct SegmentationConfig {
+  int64_t n_train = 512;
+  int64_t n_test = 128;
+  int64_t height = 16;
+  int64_t width = 16;
+  float noise = 0.4f;
+  uint64_t seed = 9090;
+};
+
+SegmentationDataset make_segmentation(const SegmentationConfig& cfg);
+
+}  // namespace grace::data

@@ -1,0 +1,38 @@
+#include "data/synthetic_text.h"
+
+namespace grace::data {
+namespace {
+
+std::vector<int32_t> generate(int64_t n, const std::vector<std::vector<int32_t>>& successors,
+                              int64_t vocab, double noise, Rng& rng) {
+  std::vector<int32_t> out(static_cast<size_t>(n));
+  int32_t state = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = state;
+    if (rng.bernoulli(noise)) {
+      state = static_cast<int32_t>(rng.uniform_int(vocab));
+    } else {
+      const auto& next = successors[static_cast<size_t>(state)];
+      state = next[static_cast<size_t>(rng.uniform_int(static_cast<int64_t>(next.size())))];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TextDataset make_text(const TextConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<std::vector<int32_t>> successors(static_cast<size_t>(cfg.vocab));
+  for (auto& next : successors) {
+    next.resize(static_cast<size_t>(cfg.branch));
+    for (auto& s : next) s = static_cast<int32_t>(rng.uniform_int(cfg.vocab));
+  }
+  TextDataset ds;
+  ds.vocab = cfg.vocab;
+  ds.train_tokens = generate(cfg.train_tokens, successors, cfg.vocab, cfg.noise, rng);
+  ds.test_tokens = generate(cfg.test_tokens, successors, cfg.vocab, cfg.noise, rng);
+  return ds;
+}
+
+}  // namespace grace::data

@@ -1,0 +1,25 @@
+// Markov-chain character stream (PTB stand-in for language modelling). A
+// random sparse transition matrix gives the stream learnable structure; an
+// LSTM that captures the transitions beats the unigram baseline, so test
+// perplexity is a meaningful quality metric.
+#pragma once
+
+#include "data/dataset.h"
+#include "tensor/rng.h"
+
+namespace grace::data {
+
+struct TextConfig {
+  int64_t train_tokens = 40000;
+  int64_t test_tokens = 8000;
+  int64_t vocab = 32;
+  // Each state transitions mostly within `branch` preferred successors;
+  // lower branch => lower achievable perplexity.
+  int64_t branch = 4;
+  double noise = 0.1;  // probability of a uniform-random transition
+  uint64_t seed = 4321;
+};
+
+TextDataset make_text(const TextConfig& cfg);
+
+}  // namespace grace::data

@@ -1,0 +1,80 @@
+#include "models/cnn_small.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace grace::models {
+namespace {
+// Channel widths chosen so convolution FLOPs dominate the parameter count
+// (ResNet-like compute:bytes ratio, ~60 FLOPs per parameter byte), keeping
+// this benchmark compute-bound on the simulated cluster like the paper's
+// ResNet-20 panel. The classifier head maps pooled features directly to
+// logits to avoid a parameter-heavy FC tail.
+constexpr int64_t kC1 = 16, kC2 = 32, kKernel = 3;
+}
+
+CnnSmall::CnnSmall(std::shared_ptr<const data::ImageDataset> data,
+                   uint64_t init_seed)
+    : data_(std::move(data)) {
+  Rng rng(init_seed);
+  const int64_t c = data_->channels, h = data_->height, w = data_->width;
+  conv1_ = std::make_unique<nn::Conv2dLayer>(module_, "conv1", c, kC1, kKernel,
+                                             1, 1, rng);
+  conv2_ = std::make_unique<nn::Conv2dLayer>(module_, "conv2", kC1, kC2,
+                                             kKernel, 1, 1, rng);
+  flat_dim_ = kC2 * (h / 4) * (w / 4);
+  fc_ = std::make_unique<nn::Linear>(module_, "fc", flat_dim_, data_->classes, rng);
+  // Forward FLOPs: 2 * MACs for convs (at full and half resolution) + head.
+  flops_ = 2.0 * static_cast<double>(kC1 * c * kKernel * kKernel * h * w) +
+           2.0 * static_cast<double>(kC2 * kC1 * kKernel * kKernel * (h / 2) * (w / 2)) +
+           2.0 * static_cast<double>(flat_dim_ * data_->classes);
+}
+
+nn::Value CnnSmall::forward(const Tensor& batch_x) {
+  auto x = nn::make_value(batch_x, /*requires_grad=*/false);
+  auto h1 = nn::maxpool2x2(nn::relu(conv1_->forward(x)));
+  auto h2 = nn::maxpool2x2(nn::relu(conv2_->forward(h1)));
+  auto flat = nn::reshape(h2, Shape{{batch_x.shape()[0], flat_dim_}});
+  return fc_->forward(flat);
+}
+
+float CnnSmall::forward_backward(std::span<const int64_t> indices, Rng&) {
+  Tensor bx = data::gather_rows(data_->train_x, indices);
+  std::vector<int32_t> by(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    by[i] = data_->train_y[static_cast<size_t>(indices[i])];
+  }
+  auto loss = nn::softmax_cross_entropy(forward(bx), std::move(by));
+  nn::backward(loss);
+  return loss->data.item();
+}
+
+EvalResult CnnSmall::evaluate() {
+  constexpr int64_t kBatch = 64;
+  const int64_t n = data_->test_size();
+  int64_t correct = 0;
+  double loss_sum = 0.0;
+  for (int64_t at = 0; at < n; at += kBatch) {
+    const int64_t b = std::min(kBatch, n - at);
+    std::vector<int64_t> idx(static_cast<size_t>(b));
+    std::iota(idx.begin(), idx.end(), at);
+    Tensor bx = data::gather_rows(data_->test_x, idx);
+    std::vector<int32_t> by(static_cast<size_t>(b));
+    for (int64_t i = 0; i < b; ++i) by[static_cast<size_t>(i)] = data_->test_y[static_cast<size_t>(at + i)];
+    auto logits = forward(bx);
+    auto z = logits->data.f32();
+    const int64_t classes = data_->classes;
+    for (int64_t i = 0; i < b; ++i) {
+      const auto row = z.subspan(static_cast<size_t>(i * classes), static_cast<size_t>(classes));
+      if (ops::argmax(row) == by[static_cast<size_t>(i)]) ++correct;
+    }
+    loss_sum += static_cast<double>(
+                    nn::softmax_cross_entropy(logits, std::move(by))->data.item()) *
+                static_cast<double>(b);
+  }
+  return {static_cast<double>(correct) / static_cast<double>(n), loss_sum / static_cast<double>(n)};
+}
+
+}  // namespace grace::models

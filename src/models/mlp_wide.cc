@@ -1,0 +1,67 @@
+#include "models/mlp_wide.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace grace::models {
+
+MlpWide::MlpWide(std::shared_ptr<const data::ImageDataset> data,
+                 uint64_t init_seed, int64_t hidden)
+    : data_(std::move(data)) {
+  Rng rng(init_seed);
+  in_dim_ = data_->channels * data_->height * data_->width;
+  fc1_ = std::make_unique<nn::Linear>(module_, "fc1", in_dim_, hidden, rng);
+  fc2_ = std::make_unique<nn::Linear>(module_, "fc2", hidden, hidden, rng);
+  fc3_ = std::make_unique<nn::Linear>(module_, "fc3", hidden, data_->classes, rng);
+  flops_ = 2.0 * static_cast<double>(in_dim_ * hidden + hidden * hidden +
+                                     hidden * data_->classes);
+}
+
+nn::Value MlpWide::forward(const Tensor& batch_x) {
+  Tensor flat = batch_x.reshaped(Shape{{batch_x.shape()[0], in_dim_}});
+  auto x = nn::make_value(std::move(flat), /*requires_grad=*/false);
+  auto h1 = nn::relu(fc1_->forward(x));
+  auto h2 = nn::relu(fc2_->forward(h1));
+  return fc3_->forward(h2);
+}
+
+float MlpWide::forward_backward(std::span<const int64_t> indices, Rng&) {
+  Tensor bx = data::gather_rows(data_->train_x, indices);
+  std::vector<int32_t> by(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    by[i] = data_->train_y[static_cast<size_t>(indices[i])];
+  }
+  auto loss = nn::softmax_cross_entropy(forward(bx), std::move(by));
+  nn::backward(loss);
+  return loss->data.item();
+}
+
+EvalResult MlpWide::evaluate() {
+  constexpr int64_t kBatch = 128;
+  const int64_t n = data_->test_size();
+  int64_t correct = 0;
+  double loss_sum = 0.0;
+  for (int64_t at = 0; at < n; at += kBatch) {
+    const int64_t b = std::min(kBatch, n - at);
+    std::vector<int64_t> idx(static_cast<size_t>(b));
+    std::iota(idx.begin(), idx.end(), at);
+    Tensor bx = data::gather_rows(data_->test_x, idx);
+    std::vector<int32_t> by(static_cast<size_t>(b));
+    for (int64_t i = 0; i < b; ++i) by[static_cast<size_t>(i)] = data_->test_y[static_cast<size_t>(at + i)];
+    auto logits = forward(bx);
+    auto z = logits->data.f32();
+    const int64_t classes = data_->classes;
+    for (int64_t i = 0; i < b; ++i) {
+      const auto row = z.subspan(static_cast<size_t>(i * classes), static_cast<size_t>(classes));
+      if (ops::argmax(row) == by[static_cast<size_t>(i)]) ++correct;
+    }
+    loss_sum += static_cast<double>(
+                    nn::softmax_cross_entropy(logits, std::move(by))->data.item()) *
+                static_cast<double>(b);
+  }
+  return {static_cast<double>(correct) / static_cast<double>(n), loss_sum / static_cast<double>(n)};
+}
+
+}  // namespace grace::models

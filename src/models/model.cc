@@ -1,0 +1,4 @@
+#include "models/model.h"
+
+// Interface-only translation unit (keeps the vtable anchored here).
+namespace grace::models {}

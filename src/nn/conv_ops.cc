@@ -1,0 +1,195 @@
+#include "nn/conv_ops.h"
+
+#include <cassert>
+#include <limits>
+
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+
+namespace grace::nn {
+
+Value conv2d(const Value& x, const Value& weight, const Value& bias,
+             int64_t stride, int64_t pad) {
+  const auto& xs = x->data.shape();
+  const auto& ws = weight->data.shape();
+  assert(xs.rank() == 4 && ws.rank() == 4);
+  const int64_t n = xs[0], c = xs[1], h = xs[2], w = xs[3];
+  const int64_t oc = ws[0], kh = ws[2], kw = ws[3];
+  assert(ws[1] == c);
+  assert(bias->data.numel() == oc);
+  const int64_t oh = ops::conv_out_dim(h, kh, stride, pad);
+  const int64_t ow = ops::conv_out_dim(w, kw, stride, pad);
+  const int64_t col_rows = c * kh * kw;
+  const int64_t col_cols = oh * ow;
+
+  Tensor out(DType::F32, Shape{{n, oc, oh, ow}});
+  Tensor cols(DType::F32, Shape{{col_rows, col_cols}});
+  auto xv = x->data.f32();
+  auto wv = weight->data.f32();
+  auto bv = bias->data.f32();
+  auto ov = out.f32();
+  for (int64_t i = 0; i < n; ++i) {
+    ops::im2col(xv.subspan(static_cast<size_t>(i * c * h * w), static_cast<size_t>(c * h * w)),
+                c, h, w, kh, kw, stride, pad, cols.f32());
+    auto oi = ov.subspan(static_cast<size_t>(i * oc * col_cols), static_cast<size_t>(oc * col_cols));
+    ops::gemm(false, false, oc, col_cols, col_rows, 1.0f, wv, cols.f32(), 0.0f, oi);
+    for (int64_t ch = 0; ch < oc; ++ch) {
+      const float b = bv[static_cast<size_t>(ch)];
+      for (int64_t j = 0; j < col_cols; ++j) oi[static_cast<size_t>(ch * col_cols + j)] += b;
+    }
+  }
+
+  auto node = make_value(std::move(out));
+  node->parents = {x, weight, bias};
+  node->backward_fn = [n, c, h, w, oc, kh, kw, stride, pad, oh, ow](Node& nd) {
+    const int64_t crows = c * kh * kw;
+    const int64_t ccols = oh * ow;
+    auto g = nd.grad.f32();
+    auto& xn = *nd.parents[0];
+    auto& wn = *nd.parents[1];
+    auto& bn = *nd.parents[2];
+    Tensor bcols(DType::F32, Shape{{crows, ccols}});
+    Tensor dcols(DType::F32, Shape{{crows, ccols}});
+    for (int64_t i = 0; i < n; ++i) {
+      auto gi = g.subspan(static_cast<size_t>(i * oc * ccols), static_cast<size_t>(oc * ccols));
+      // dB: sum over spatial positions.
+      auto gb = bn.grad.f32();
+      for (int64_t ch = 0; ch < oc; ++ch) {
+        double acc = 0.0;
+        for (int64_t j = 0; j < ccols; ++j) acc += gi[static_cast<size_t>(ch * ccols + j)];
+        gb[static_cast<size_t>(ch)] += static_cast<float>(acc);
+      }
+      // dW += gi * cols^T  (recompute cols to avoid caching them all).
+      ops::im2col(xn.data.f32().subspan(static_cast<size_t>(i * c * h * w), static_cast<size_t>(c * h * w)),
+                  c, h, w, kh, kw, stride, pad, bcols.f32());
+      ops::gemm(false, true, oc, crows, ccols, 1.0f, gi, bcols.f32(), 1.0f,
+                wn.grad.f32());
+      // dX_i = col2im(W^T * gi)
+      ops::gemm(true, false, crows, ccols, oc, 1.0f, wn.data.f32(), gi,
+                0.0f, dcols.f32());
+      ops::col2im(dcols.f32(), c, h, w, kh, kw, stride, pad,
+                  xn.grad.f32().subspan(static_cast<size_t>(i * c * h * w), static_cast<size_t>(c * h * w)));
+    }
+  };
+  return node;
+}
+
+Value maxpool2x2(const Value& x) {
+  const auto& xs = x->data.shape();
+  assert(xs.rank() == 4 && xs[2] % 2 == 0 && xs[3] % 2 == 0);
+  const int64_t n = xs[0], c = xs[1], h = xs[2], w = xs[3];
+  const int64_t oh = h / 2, ow = w / 2;
+  Tensor out(DType::F32, Shape{{n, c, oh, ow}});
+  // Remember which input position won each window for the backward pass.
+  std::vector<int32_t> argmaxes(static_cast<size_t>(out.numel()));
+  auto xv = x->data.f32();
+  auto ov = out.f32();
+  for (int64_t img = 0; img < n * c; ++img) {
+    const auto src = xv.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
+    for (int64_t i = 0; i < oh; ++i) {
+      for (int64_t j = 0; j < ow; ++j) {
+        float best = -std::numeric_limits<float>::infinity();
+        int32_t best_at = 0;
+        for (int64_t di = 0; di < 2; ++di) {
+          for (int64_t dj = 0; dj < 2; ++dj) {
+            const auto at = static_cast<int32_t>((2 * i + di) * w + 2 * j + dj);
+            if (src[static_cast<size_t>(at)] > best) {
+              best = src[static_cast<size_t>(at)];
+              best_at = at;
+            }
+          }
+        }
+        const auto out_at = static_cast<size_t>((img * oh + i) * ow + j);
+        ov[out_at] = best;
+        argmaxes[out_at] = best_at;
+      }
+    }
+  }
+  auto node = make_value(std::move(out));
+  node->parents = {x};
+  node->backward_fn = [n, c, h, w, oh, ow, argmaxes = std::move(argmaxes)](Node& nd) {
+    auto g = nd.grad.f32();
+    auto gx = nd.parents[0]->grad.f32();
+    for (int64_t img = 0; img < n * c; ++img) {
+      auto gdst = gx.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
+      const auto base = static_cast<size_t>(img * oh * ow);
+      for (int64_t k = 0; k < oh * ow; ++k) {
+        gdst[static_cast<size_t>(argmaxes[base + static_cast<size_t>(k)])] += g[base + static_cast<size_t>(k)];
+      }
+    }
+  };
+  return node;
+}
+
+Value upsample2x(const Value& x) {
+  const auto& xs = x->data.shape();
+  assert(xs.rank() == 4);
+  const int64_t n = xs[0], c = xs[1], h = xs[2], w = xs[3];
+  const int64_t oh = h * 2, ow = w * 2;
+  Tensor out(DType::F32, Shape{{n, c, oh, ow}});
+  auto xv = x->data.f32();
+  auto ov = out.f32();
+  for (int64_t img = 0; img < n * c; ++img) {
+    const auto src = xv.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
+    auto dst = ov.subspan(static_cast<size_t>(img * oh * ow), static_cast<size_t>(oh * ow));
+    for (int64_t i = 0; i < oh; ++i) {
+      for (int64_t j = 0; j < ow; ++j) {
+        dst[static_cast<size_t>(i * ow + j)] = src[static_cast<size_t>((i / 2) * w + j / 2)];
+      }
+    }
+  }
+  auto node = make_value(std::move(out));
+  node->parents = {x};
+  node->backward_fn = [n, c, h, w, oh, ow](Node& nd) {
+    auto g = nd.grad.f32();
+    auto gx = nd.parents[0]->grad.f32();
+    for (int64_t img = 0; img < n * c; ++img) {
+      auto gsrc = gx.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
+      const auto gdst = g.subspan(static_cast<size_t>(img * oh * ow), static_cast<size_t>(oh * ow));
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          gsrc[static_cast<size_t>((i / 2) * w + j / 2)] += gdst[static_cast<size_t>(i * ow + j)];
+        }
+      }
+    }
+  };
+  return node;
+}
+
+Value concat_channels(const Value& a, const Value& b) {
+  const auto& as = a->data.shape();
+  const auto& bs = b->data.shape();
+  assert(as.rank() == 4 && bs.rank() == 4);
+  const int64_t n = as[0], c1 = as[1], h = as[2], w = as[3];
+  const int64_t c2 = bs[1];
+  assert(bs[0] == n && bs[2] == h && bs[3] == w);
+  const int64_t plane = h * w;
+  Tensor out(DType::F32, Shape{{n, c1 + c2, h, w}});
+  auto av = a->data.f32();
+  auto bv = b->data.f32();
+  auto ov = out.f32();
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy_n(av.begin() + i * c1 * plane, c1 * plane,
+                ov.begin() + i * (c1 + c2) * plane);
+    std::copy_n(bv.begin() + i * c2 * plane, c2 * plane,
+                ov.begin() + (i * (c1 + c2) + c1) * plane);
+  }
+  auto node = make_value(std::move(out));
+  node->parents = {a, b};
+  node->backward_fn = [n, c1, c2, plane](Node& nd) {
+    auto g = nd.grad.f32();
+    auto ga = nd.parents[0]->grad.f32();
+    auto gb = nd.parents[1]->grad.f32();
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t k = 0; k < c1 * plane; ++k) {
+        ga[static_cast<size_t>(i * c1 * plane + k)] += g[static_cast<size_t>(i * (c1 + c2) * plane + k)];
+      }
+      for (int64_t k = 0; k < c2 * plane; ++k) {
+        gb[static_cast<size_t>(i * c2 * plane + k)] += g[static_cast<size_t>((i * (c1 + c2) + c1) * plane + k)];
+      }
+    }
+  };
+  return node;
+}
+
+}  // namespace grace::nn

@@ -1,0 +1,22 @@
+// Differentiable spatial ops on (N, C, H, W) tensors.
+#pragma once
+
+#include "nn/value.h"
+
+namespace grace::nn {
+
+// x: (N, C, H, W), weight: (OC, C, KH, KW), bias: (OC).
+// Returns (N, OC, OH, OW) with OH/OW from stride/pad.
+Value conv2d(const Value& x, const Value& weight, const Value& bias,
+             int64_t stride, int64_t pad);
+
+// 2x2 max pooling with stride 2. H and W must be even.
+Value maxpool2x2(const Value& x);
+
+// Nearest-neighbour 2x upsampling (inverse-ish of maxpool for U-Net).
+Value upsample2x(const Value& x);
+
+// Concatenate along the channel dimension: (N,C1,H,W) ++ (N,C2,H,W).
+Value concat_channels(const Value& a, const Value& b);
+
+}  // namespace grace::nn

@@ -1,0 +1,22 @@
+// Finite-difference gradient verification used by the test suite.
+#pragma once
+
+#include <functional>
+
+#include "nn/module.h"
+
+namespace grace::nn {
+
+struct GradCheckResult {
+  double max_rel_error = 0.0;
+  int64_t checked = 0;
+};
+
+// loss_fn must rebuild the forward graph from the module's current parameter
+// values and return the scalar loss node. Checks up to samples_per_tensor
+// randomly chosen coordinates of every parameter against central differences.
+GradCheckResult gradcheck(Module& m, const std::function<Value()>& loss_fn,
+                          Rng& rng, double eps = 1e-3,
+                          int64_t samples_per_tensor = 12);
+
+}  // namespace grace::nn

@@ -1,0 +1,47 @@
+#include "nn/module.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace grace::nn {
+
+Parameter& Module::register_parameter(std::string name, Tensor init) {
+  params_.push_back(Parameter{std::move(name), make_value(std::move(init))});
+  return params_.back();
+}
+
+void Module::zero_grad() {
+  for (auto& p : params_) ops::fill(p.value->grad.f32(), 0.0f);
+}
+
+int64_t Module::num_parameters() const {
+  int64_t n = 0;
+  for (const auto& p : params_) n += p.value->data.numel();
+  return n;
+}
+
+void Module::copy_parameters_from(const Module& other) {
+  assert(params_.size() == other.params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    assert(params_[i].value->data.shape() == other.params_[i].value->data.shape());
+    ops::copy(params_[i].value->data.f32(), other.params_[i].value->data.f32());
+  }
+}
+
+Tensor he_normal(Rng& rng, Shape shape, int64_t fan_in) {
+  Tensor t(DType::F32, std::move(shape));
+  rng.fill_normal(t.f32(), 0.0f,
+                  std::sqrt(2.0f / static_cast<float>(fan_in)));
+  return t;
+}
+
+Tensor xavier_uniform(Rng& rng, Shape shape, int64_t fan_in, int64_t fan_out) {
+  Tensor t(DType::F32, std::move(shape));
+  const float lim = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  rng.fill_uniform(t.f32(), -lim, lim);
+  return t;
+}
+
+}  // namespace grace::nn

@@ -1,0 +1,50 @@
+#include "nn/value.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace grace::nn {
+
+Value make_value(Tensor data, bool requires_grad) {
+  auto n = std::make_shared<Node>(std::move(data));
+  n->requires_grad = requires_grad;
+  return n;
+}
+
+std::vector<Node*> topo_order(const Value& root) {
+  // Iterative post-order DFS; post-order reversed gives the propagation order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root) {
+    stack.push_back({root.get(), 0});
+    visited.insert(root.get());
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      Node* p = f.node->parents[f.next_parent++].get();
+      if (visited.insert(p).second) stack.push_back({p, 0});
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+void backward(const Value& root) {
+  assert(root && root->data.numel() == 1);
+  root->grad.f32()[0] = 1.0f;
+  for (Node* n : topo_order(root)) {
+    if (n->backward_fn) n->backward_fn(*n);
+  }
+}
+
+}  // namespace grace::nn

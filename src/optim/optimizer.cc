@@ -1,0 +1,144 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace grace::optim {
+
+std::span<float> Optimizer::state(std::vector<Tensor>& store, size_t slot,
+                                  size_t n) {
+  if (store.size() <= slot) store.resize(slot + 1);
+  if (store[slot].numel() != static_cast<int64_t>(n)) {
+    store[slot] = Tensor::zeros(Shape{{static_cast<int64_t>(n)}});
+  }
+  return store[slot].f32();
+}
+
+namespace {
+
+// Shared weight-decay handling: returns grad[i] + wd * param[i].
+inline float g_at(const OptimizerConfig& cfg, std::span<const float> grad,
+                  std::span<const float> param, size_t i) {
+  float g = grad[i];
+  if (cfg.weight_decay != 0.0) {
+    g += static_cast<float>(cfg.weight_decay) * param[i];
+  }
+  return g;
+}
+
+class Sgd final : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+  void apply(size_t, std::span<float> param,
+             std::span<const float> grad) override {
+    const auto lr = static_cast<float>(cfg_.lr);
+    for (size_t i = 0; i < param.size(); ++i) {
+      param[i] -= lr * g_at(cfg_, grad, param, i);
+    }
+  }
+};
+
+class Momentum final : public Optimizer {
+ public:
+  Momentum(OptimizerConfig cfg, bool nesterov)
+      : Optimizer(cfg), nesterov_(nesterov) {}
+  void apply(size_t slot, std::span<float> param,
+             std::span<const float> grad) override {
+    auto v = state(velocity_, slot, param.size());
+    const auto lr = static_cast<float>(cfg_.lr);
+    const auto mu = static_cast<float>(cfg_.momentum);
+    for (size_t i = 0; i < param.size(); ++i) {
+      const float g = g_at(cfg_, grad, param, i);
+      v[i] = mu * v[i] + g;
+      param[i] -= lr * (nesterov_ ? g + mu * v[i] : v[i]);
+    }
+  }
+
+ private:
+  bool nesterov_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+  void apply(size_t slot, std::span<float> param,
+             std::span<const float> grad) override {
+    auto m = state(m_, slot, param.size());
+    auto v = state(v_, slot, param.size());
+    if (steps_.size() <= slot) steps_.resize(slot + 1, 0);
+    const auto t = static_cast<double>(++steps_[slot]);
+    const double b1 = cfg_.beta1, b2 = cfg_.beta2;
+    const double bias1 = 1.0 - std::pow(b1, t);
+    const double bias2 = 1.0 - std::pow(b2, t);
+    const double lr = cfg_.lr;
+    for (size_t i = 0; i < param.size(); ++i) {
+      const float g = g_at(cfg_, grad, param, i);
+      m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * g);
+      v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * g * g);
+      const double mhat = m[i] / bias1;
+      const double vhat = v[i] / bias2;
+      param[i] -= static_cast<float>(lr * mhat / (std::sqrt(vhat) + cfg_.eps));
+    }
+  }
+
+ private:
+  std::vector<Tensor> m_, v_;
+  std::vector<int64_t> steps_;
+};
+
+class RmsProp final : public Optimizer {
+ public:
+  using Optimizer::Optimizer;
+  void apply(size_t slot, std::span<float> param,
+             std::span<const float> grad) override {
+    auto s = state(sq_, slot, param.size());
+    const double rho = cfg_.rho;
+    const double lr = cfg_.lr;
+    for (size_t i = 0; i < param.size(); ++i) {
+      const float g = g_at(cfg_, grad, param, i);
+      s[i] = static_cast<float>(rho * s[i] + (1.0 - rho) * g * g);
+      param[i] -= static_cast<float>(lr * g / (std::sqrt(static_cast<double>(s[i])) + cfg_.eps));
+    }
+  }
+
+ private:
+  std::vector<Tensor> sq_;
+};
+
+}  // namespace
+
+std::unique_ptr<Optimizer> make_optimizer(const OptimizerConfig& cfg) {
+  switch (cfg.type) {
+    case OptimizerType::Sgd: return std::make_unique<Sgd>(cfg);
+    case OptimizerType::Momentum: return std::make_unique<Momentum>(cfg, false);
+    case OptimizerType::Nesterov: return std::make_unique<Momentum>(cfg, true);
+    case OptimizerType::Adam: return std::make_unique<Adam>(cfg);
+    case OptimizerType::RmsProp: return std::make_unique<RmsProp>(cfg);
+  }
+  throw std::invalid_argument("unknown optimizer type");
+}
+
+OptimizerType optimizer_type_from_name(const std::string& name) {
+  if (name == "sgd") return OptimizerType::Sgd;
+  if (name == "momentum") return OptimizerType::Momentum;
+  if (name == "nesterov") return OptimizerType::Nesterov;
+  if (name == "adam") return OptimizerType::Adam;
+  if (name == "rmsprop") return OptimizerType::RmsProp;
+  throw std::invalid_argument("unknown optimizer: " + name);
+}
+
+std::string optimizer_name(OptimizerType t) {
+  switch (t) {
+    case OptimizerType::Sgd: return "sgd";
+    case OptimizerType::Momentum: return "momentum";
+    case OptimizerType::Nesterov: return "nesterov";
+    case OptimizerType::Adam: return "adam";
+    case OptimizerType::RmsProp: return "rmsprop";
+  }
+  return "?";
+}
+
+}  // namespace grace::optim

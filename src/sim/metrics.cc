@@ -1,0 +1,3 @@
+#include "sim/metrics.h"
+
+namespace grace::sim {}

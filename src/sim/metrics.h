@@ -1,0 +1,47 @@
+// Result records produced by the distributed trainer; the benchmark
+// binaries print these as the paper's tables/figures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grace::sim {
+
+struct EpochRecord {
+  int epoch = 0;
+  double train_loss = 0.0;        // mean worker-0 loss over the epoch
+  double quality = 0.0;           // task metric after this epoch
+  double epoch_sim_seconds = 0.0; // simulated duration of this epoch
+  double cum_sim_seconds = 0.0;   // simulated time since training start
+};
+
+struct RunResult {
+  std::string model;
+  std::string compressor;
+  std::string quality_metric;
+  bool error_feedback = false;
+
+  std::vector<EpochRecord> epochs;
+  double best_quality = 0.0;   // best seen across epochs (paper methodology)
+  double final_quality = 0.0;
+
+  // Steady-state global throughput (samples/sec over the last iterations).
+  double throughput = 0.0;
+  // Mean logical bytes transmitted per iteration by one worker.
+  double wire_bytes_per_iter = 0.0;
+
+  // Mean per-iteration breakdown (seconds). compress_s is the full
+  // compression overhead (compress + local/peer decompress + fixed
+  // per-tensor cost), taken as the slowest worker per iteration.
+  double compute_s = 0.0;
+  double compress_s = 0.0;
+  double comm_s = 0.0;
+  double total_sim_seconds = 0.0;
+
+  int64_t model_parameters = 0;
+  int64_t gradient_tensors = 0;
+  bool replicas_in_sync = true;
+};
+
+}  // namespace grace::sim

@@ -1,0 +1,158 @@
+#include "sim/tasks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/synthetic_images.h"
+#include "data/synthetic_recsys.h"
+#include "data/synthetic_segmentation.h"
+#include "data/synthetic_text.h"
+#include "models/cnn_small.h"
+#include "models/lstm_lm.h"
+#include "models/mlp_wide.h"
+#include "models/ncf.h"
+#include "models/unet_mini.h"
+
+namespace grace::sim {
+namespace {
+
+int scaled(int value, double scale, int min_value = 1) {
+  return std::max(min_value, static_cast<int>(std::lround(value * scale)));
+}
+
+}  // namespace
+
+Benchmark make_cnn_classification(double scale) {
+  data::ImageConfig dc;
+  dc.n_train = scaled(1024, scale, 64);
+  dc.n_test = scaled(256, scale, 32);
+  dc.noise = 1.2f;  // tuned: baseline ~0.93, like ResNet-20/CIFAR-10's 0.91
+  auto data = std::make_shared<const data::ImageDataset>(data::make_images(dc));
+  Benchmark b;
+  b.task = "Image Classification";
+  b.model = "cnn-small";
+  b.dataset = "synthetic-images";
+  b.quality_metric = "top1-accuracy";
+  b.factory = [data](uint64_t seed) {
+    return std::make_unique<models::CnnSmall>(data, seed);
+  };
+  b.optimizer = {.type = optim::OptimizerType::Momentum, .lr = 0.02};
+  b.epochs = scaled(6, scale, 2);
+  b.batch_per_worker = 8;
+  return b;
+}
+
+Benchmark make_mlp_classification(double scale) {
+  data::ImageConfig dc;
+  dc.n_train = scaled(1024, scale, 64);
+  dc.n_test = scaled(256, scale, 32);
+  dc.noise = 2.0f;  // tuned: baseline ~0.81, like VGG16/CIFAR-10's 0.86
+  dc.seed = 5678;
+  auto data = std::make_shared<const data::ImageDataset>(data::make_images(dc));
+  Benchmark b;
+  b.task = "Image Classification";
+  b.model = "mlp-wide";
+  b.dataset = "synthetic-images";
+  b.quality_metric = "top1-accuracy";
+  b.factory = [data](uint64_t seed) {
+    return std::make_unique<models::MlpWide>(data, seed, /*hidden=*/256);
+  };
+  b.optimizer = {.type = optim::OptimizerType::Momentum, .lr = 0.02};
+  b.epochs = scaled(6, scale, 2);
+  b.batch_per_worker = 8;
+  return b;
+}
+
+Benchmark make_lstm_lm(double scale) {
+  data::TextConfig dc;
+  dc.train_tokens = scaled(1600, scale, 300);
+  dc.test_tokens = scaled(600, scale, 150);
+  dc.vocab = 26;
+  auto data = std::make_shared<const data::TextDataset>(data::make_text(dc));
+  Benchmark b;
+  b.task = "Language Modeling";
+  b.model = "lstm-lm";
+  b.dataset = "synthetic-text";
+  b.quality_metric = "test-perplexity";
+  b.factory = [data](uint64_t seed) {
+    return std::make_unique<models::LstmLm>(data, seed, /*embed=*/16,
+                                            /*hidden=*/32, /*seq_len=*/8);
+  };
+  b.optimizer = {.type = optim::OptimizerType::Sgd, .lr = 2.0};  // tuned: ppl ~8 vs vocab 26
+  b.epochs = scaled(5, scale, 2);
+  b.batch_per_worker = 8;
+  return b;
+}
+
+Benchmark make_ncf_recommendation(double scale) {
+  data::RecsysConfig dc;
+  // Large embedding tables relative to compute, like the paper's NCF
+  // (31.8M params): the gradient is ~670 KB/iteration, making this the
+  // bandwidth-bound benchmark where compression pays off most (Fig. 6d).
+  dc.n_users = scaled(1500, scale, 64);
+  dc.n_items = scaled(2000, scale, 96);
+  dc.positives_per_user = 4;
+  auto data = std::make_shared<const data::RecsysDataset>(data::make_recsys(dc));
+  Benchmark b;
+  b.task = "Recommendation";
+  b.model = "ncf";
+  b.dataset = "synthetic-recsys";
+  b.quality_metric = "hit-rate@10";
+  b.factory = [data](uint64_t seed) {
+    return std::make_unique<models::NcfRecommender>(data, seed, /*embed_dim=*/48);
+  };
+  b.optimizer = {.type = optim::OptimizerType::Adam, .lr = 0.01};
+  b.epochs = scaled(8, scale, 2);
+  b.batch_per_worker = 8;
+  return b;
+}
+
+Benchmark make_unet_segmentation(double scale) {
+  data::SegmentationConfig dc;
+  dc.n_train = scaled(256, scale, 32);
+  dc.n_test = scaled(64, scale, 16);
+  auto data = std::make_shared<const data::SegmentationDataset>(
+      data::make_segmentation(dc));
+  Benchmark b;
+  b.task = "Image Segmentation";
+  b.model = "unet-mini";
+  b.dataset = "synthetic-segmentation";
+  b.quality_metric = "iou";
+  b.factory = [data](uint64_t seed) {
+    return std::make_unique<models::UNetMini>(data, seed);
+  };
+  b.optimizer = {.type = optim::OptimizerType::RmsProp, .lr = 0.003};
+  b.epochs = scaled(6, scale, 2);
+  b.batch_per_worker = 4;
+  return b;
+}
+
+std::vector<Benchmark> standard_suite(double scale) {
+  std::vector<Benchmark> suite;
+  suite.push_back(make_cnn_classification(scale));
+  suite.push_back(make_mlp_classification(scale));
+  suite.push_back(make_lstm_lm(scale));
+  suite.push_back(make_ncf_recommendation(scale));
+  suite.push_back(make_unet_segmentation(scale));
+  return suite;
+}
+
+TrainConfig default_config(const Benchmark& bench) {
+  TrainConfig cfg;
+  cfg.n_workers = 8;
+  cfg.batch_per_worker = bench.batch_per_worker;
+  cfg.epochs = bench.epochs;
+  cfg.optimizer = bench.optimizer;
+  cfg.net.n_workers = cfg.n_workers;
+  cfg.net.bandwidth_gbps = 10.0;
+  cfg.net.transport = comm::Transport::Tcp;
+  // Calibration between this host CPU and the paper's testbed, where
+  // compression kernels ran as batched GPU tensor ops: charge 30% of the
+  // measured single-core CPU time. The *relative* cost ordering across
+  // methods (Fig. 8) is preserved; only the compute:compression ratio is
+  // calibrated. See DESIGN.md §1.
+  cfg.time.compression_time_scale = 0.3;
+  return cfg;
+}
+
+}  // namespace grace::sim

@@ -1,0 +1,38 @@
+// The benchmark suite (the analogue of Table II): five tasks spanning
+// convolutional, fully-connected, recurrent and embedding models, with the
+// paper's per-task default optimizers. `scale` shrinks datasets and epochs
+// proportionally (tests use small scales; benches use 1.0).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trainer.h"
+
+namespace grace::sim {
+
+struct Benchmark {
+  std::string task;     // e.g. "Image Classification"
+  std::string model;    // e.g. "cnn-small"
+  std::string dataset;  // e.g. "synthetic-images"
+  std::string quality_metric;
+  ReplicaFactory factory;
+  optim::OptimizerConfig optimizer;
+  int epochs = 5;
+  int batch_per_worker = 8;  // sized for the default 8 workers
+};
+
+Benchmark make_cnn_classification(double scale = 1.0);   // ResNet-20 analogue
+Benchmark make_mlp_classification(double scale = 1.0);   // VGG analogue
+Benchmark make_lstm_lm(double scale = 1.0);              // LSTM-PTB analogue
+Benchmark make_ncf_recommendation(double scale = 1.0);   // NCF analogue
+Benchmark make_unet_segmentation(double scale = 1.0);    // U-Net analogue
+
+// All five, in Table II order.
+std::vector<Benchmark> standard_suite(double scale = 1.0);
+
+// Fills a TrainConfig from a benchmark with the standard cluster defaults
+// (8 workers, 10 Gbps TCP), leaving compressor choice to the caller.
+TrainConfig default_config(const Benchmark& bench);
+
+}  // namespace grace::sim

@@ -1,0 +1,5 @@
+#include "sim/time_model.h"
+
+// Header-only logic; translation unit kept so the build layout mirrors the
+// module inventory in DESIGN.md.
+namespace grace::sim {}

@@ -1,0 +1,34 @@
+// Hybrid time accounting for one training iteration (DESIGN.md §1):
+//   compute   — simulated: analytic FLOPs / simulated accelerator rate
+//   compress  — measured: thread-CPU time of the real kernels, scaled by a
+//               calibration factor between this host CPU and the testbed
+//   comm      — simulated: NetworkModel alpha-beta cost of the collectives
+#pragma once
+
+#include <cstdint>
+
+namespace grace::sim {
+
+struct TimeModel {
+  // Effective fp32 rate of the simulated accelerator. The default is chosen
+  // so that model compute : communication ratios land in the same regimes
+  // as the paper's V100 + 10 Gbps testbed (see DESIGN.md).
+  double device_flops = 4e9;
+  // Backward pass costs ~2x the forward pass.
+  double backward_factor = 2.0;
+  // Calibration between this host CPU and the testbed CPU for the measured
+  // compression kernels (1.0 = charge host CPU time as-is).
+  double compression_time_scale = 1.0;
+  // Fixed per-gradient-tensor cost of invoking the compression pipeline
+  // (framework dispatch, kernel launches, device-host transfers — the
+  // costs §V-D of the paper profiles). Charged once per tensor per
+  // iteration whenever a non-identity compressor runs.
+  double compression_fixed_per_tensor = 120e-6;
+
+  double compute_seconds(double fwd_flops_per_sample, int64_t batch) const {
+    return fwd_flops_per_sample * (1.0 + backward_factor) *
+           static_cast<double>(batch) / device_flops;
+  }
+};
+
+}  // namespace grace::sim

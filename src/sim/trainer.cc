@@ -1,0 +1,234 @@
+#include "sim/trainer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "comm/collectives.h"
+#include "core/registry.h"
+#include "tensor/ops.h"
+
+namespace grace::sim {
+namespace {
+
+struct WorkerLog {
+  std::vector<float> losses;        // per iteration
+  std::vector<double> overhead_s;   // measured compress+decompress per iter
+  std::vector<double> comm_s;       // simulated comm per iter
+  std::vector<uint64_t> wire_bytes; // logical bytes per iter
+  std::vector<bool> sync_ok;        // per epoch
+};
+
+// The epoch's global sample order; identical on every worker because the
+// shuffle seed depends only on (run seed, epoch).
+std::vector<int64_t> epoch_order(int64_t n, uint64_t seed, int epoch) {
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed * 1000003ULL + static_cast<uint64_t>(epoch));
+  rng.shuffle(std::span<int64_t>(order));
+  return order;
+}
+
+}  // namespace
+
+RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
+  const int n = cfg.n_workers;
+  comm::World world(n);
+  std::vector<WorkerLog> logs(static_cast<size_t>(n));
+  std::vector<models::EvalResult> evals;   // written by rank 0 only
+  std::vector<int> eval_epochs;
+  RunResult result;
+
+  // Peek at the model to size the run (rank 0 builds another replica below).
+  {
+    auto probe = factory(cfg.seed);
+    result.model = probe->name();
+    result.quality_metric = probe->quality_metric();
+    result.model_parameters = probe->module().num_parameters();
+    result.gradient_tensors = static_cast<int64_t>(probe->module().parameters().size());
+  }
+  result.compressor = cfg.grace.compressor_spec;
+
+  const int64_t global_batch = static_cast<int64_t>(n) * cfg.batch_per_worker;
+
+  const bool compressing =
+      core::parse_spec(cfg.grace.compressor_spec).name != "none";
+
+  auto worker_fn = [&](int rank) {
+    auto model = factory(cfg.seed);  // same init seed on every worker
+    core::GraceWorker grace(cfg.grace, world.comm(rank),
+                            cfg.net, cfg.seed * 7919ULL + static_cast<uint64_t>(rank));
+    auto optimizer = optim::make_optimizer(cfg.optimizer);
+    Rng batch_rng(cfg.seed * 104729ULL + static_cast<uint64_t>(rank));
+    WorkerLog& log = logs[static_cast<size_t>(rank)];
+    auto comm = world.comm(rank);
+
+    const int64_t train_n = model->train_size();
+    const int64_t iters_per_epoch = std::max<int64_t>(1, train_n / global_batch);
+    const int64_t tensors_per_iter =
+        cfg.fuse_tensors ? 1
+                         : static_cast<int64_t>(model->module().parameters().size());
+    const double fixed_overhead =
+        compressing ? cfg.time.compression_fixed_per_tensor *
+                          static_cast<double>(tensors_per_iter)
+                    : 0.0;
+    Tensor fused;  // reused flat buffer when fuse_tensors is on
+    if (cfg.fuse_tensors) {
+      fused = Tensor::zeros(Shape{{model->module().num_parameters()}});
+    }
+
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+      if (cfg.lr_decay_every > 0 && epoch > 0 && epoch % cfg.lr_decay_every == 0) {
+        optimizer->set_lr(optimizer->lr() * cfg.lr_decay_factor);
+      }
+      const auto order = epoch_order(train_n, cfg.seed, epoch);
+      for (int64_t it = 0; it < iters_per_epoch; ++it) {
+        const int64_t base = it * global_batch + static_cast<int64_t>(rank) * cfg.batch_per_worker;
+        std::span<const int64_t> slice(order.data() + base,
+                                       static_cast<size_t>(cfg.batch_per_worker));
+        model->module().zero_grad();
+        const float loss = model->forward_backward(slice, batch_rng);
+
+        core::ExchangeStats stats;
+        if (cfg.fuse_tensors) {
+          // Horovod-style bucketing: one exchange for the concatenation of
+          // all gradient tensors, then per-tensor optimizer updates.
+          auto flat = fused.f32();
+          size_t at = 0;
+          for (auto& p : model->module().parameters()) {
+            ops::copy(flat.subspan(at, static_cast<size_t>(p.value->grad.numel())),
+                      p.value->grad.f32());
+            at += static_cast<size_t>(p.value->grad.numel());
+          }
+          Tensor aggregated = grace.exchange(fused, "fused", &stats);
+          auto agg = aggregated.f32();
+          at = 0;
+          size_t slot = 0;
+          for (auto& p : model->module().parameters()) {
+            const auto len = static_cast<size_t>(p.value->data.numel());
+            optimizer->apply(slot++, p.value->data.f32(), agg.subspan(at, len));
+            at += len;
+          }
+        } else {
+          size_t slot = 0;
+          for (auto& p : model->module().parameters()) {
+            Tensor aggregated = grace.exchange(p.value->grad, p.name, &stats);
+            optimizer->apply(slot++, p.value->data.f32(), aggregated.f32());
+          }
+        }
+        log.losses.push_back(loss);
+        log.overhead_s.push_back(
+            (stats.compress_seconds + stats.decompress_seconds) *
+                cfg.time.compression_time_scale +
+            fixed_overhead);
+        log.comm_s.push_back(stats.comm_seconds);
+        log.wire_bytes.push_back(stats.wire_bytes);
+      }
+
+      if (cfg.check_sync) {
+        // All replicas must hold identical parameters: allreduce the sum of
+        // all parameter values and compare against n * local.
+        float checksum = 0.0f;
+        for (auto& p : model->module().parameters()) {
+          checksum += ops::sum(p.value->data.f32());
+        }
+        float global = checksum;
+        comm::allreduce_sum(comm, std::span<float>(&global, 1), /*tag=*/-epoch - 1);
+        const float expect = checksum * static_cast<float>(n);
+        const float tol = 1e-4f * (1.0f + std::fabs(expect));
+        log.sync_ok.push_back(std::fabs(global - expect) <= tol);
+      }
+
+      if (rank == 0 &&
+          (epoch % cfg.eval_every == 0 || epoch == cfg.epochs - 1)) {
+        evals.push_back(model->evaluate());
+        eval_epochs.push_back(epoch);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n));
+  for (int rank = 0; rank < n; ++rank) threads.emplace_back(worker_fn, rank);
+  for (auto& t : threads) t.join();
+
+  // --- Post-processing (single-threaded) ---
+  const auto total_iters = static_cast<int64_t>(logs[0].losses.size());
+  const int64_t iters_per_epoch = cfg.epochs > 0 ? total_iters / cfg.epochs : 0;
+  result.compute_s = cfg.time.compute_seconds(
+      factory(cfg.seed)->flops_per_sample(), cfg.batch_per_worker);
+
+  // Per-iteration simulated time: compute + slowest worker's measured
+  // compression overhead + simulated comm (identical across workers).
+  std::vector<double> iter_seconds(static_cast<size_t>(total_iters));
+  double overhead_sum = 0.0, comm_sum = 0.0, bytes_sum = 0.0;
+  for (int64_t it = 0; it < total_iters; ++it) {
+    double max_overhead = 0.0;
+    for (const auto& log : logs) {
+      max_overhead = std::max(max_overhead, log.overhead_s[static_cast<size_t>(it)]);
+    }
+    const double comm = logs[0].comm_s[static_cast<size_t>(it)];
+    iter_seconds[static_cast<size_t>(it)] = result.compute_s + max_overhead + comm;
+    overhead_sum += max_overhead;
+    comm_sum += comm;
+    bytes_sum += static_cast<double>(logs[0].wire_bytes[static_cast<size_t>(it)]);
+  }
+  if (total_iters > 0) {
+    result.comm_s = comm_sum / static_cast<double>(total_iters);
+    result.compress_s = overhead_sum / static_cast<double>(total_iters);
+    result.wire_bytes_per_iter = bytes_sum / static_cast<double>(total_iters);
+  }
+
+  // Steady-state throughput over the trailing window (paper: last 100 iters).
+  const int64_t window = std::min<int64_t>(100, total_iters);
+  if (window > 0) {
+    double tail = 0.0;
+    for (int64_t it = total_iters - window; it < total_iters; ++it) {
+      tail += iter_seconds[static_cast<size_t>(it)];
+    }
+    result.throughput =
+        static_cast<double>(global_batch * window) / std::max(tail, 1e-12);
+  }
+
+  // Epoch records: loss averages from worker 0, quality from evaluations.
+  double cum = 0.0;
+  size_t eval_at = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    EpochRecord rec;
+    rec.epoch = epoch;
+    double loss = 0.0, epoch_time = 0.0;
+    for (int64_t it = epoch * iters_per_epoch; it < (epoch + 1) * iters_per_epoch; ++it) {
+      loss += logs[0].losses[static_cast<size_t>(it)];
+      epoch_time += iter_seconds[static_cast<size_t>(it)];
+    }
+    rec.train_loss = iters_per_epoch ? loss / static_cast<double>(iters_per_epoch) : 0.0;
+    rec.epoch_sim_seconds = epoch_time;
+    cum += epoch_time;
+    rec.cum_sim_seconds = cum;
+    if (eval_at < eval_epochs.size() && eval_epochs[eval_at] == epoch) {
+      rec.quality = evals[eval_at].quality;
+      ++eval_at;
+    } else {
+      rec.quality = result.epochs.empty() ? 0.0 : result.epochs.back().quality;
+    }
+    result.epochs.push_back(rec);
+  }
+  result.total_sim_seconds = cum;
+  if (!evals.empty()) {
+    result.final_quality = evals.back().quality;
+    result.best_quality = evals.front().quality;
+    for (const auto& e : evals) result.best_quality = std::max(result.best_quality, e.quality);
+  }
+  for (const auto& log : logs) {
+    for (bool ok : log.sync_ok) result.replicas_in_sync = result.replicas_in_sync && ok;
+  }
+
+  result.error_feedback =
+      core::GraceWorker(cfg.grace, world.comm(0), cfg.net, 0)
+          .error_feedback_enabled();
+  return result;
+}
+
+}  // namespace grace::sim

@@ -1,0 +1,51 @@
+// The distributed data-parallel trainer: Algorithm 1 executed by n worker
+// threads over the in-process collectives. Each worker owns a model
+// replica, a GraceWorker (compressor + memory + comm rank), an optimizer,
+// and a disjoint slice of every global mini-batch.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "comm/network_model.h"
+#include "core/grace_world.h"
+#include "models/model.h"
+#include "optim/optimizer.h"
+#include "sim/metrics.h"
+#include "sim/time_model.h"
+
+namespace grace::sim {
+
+using ReplicaFactory =
+    std::function<std::unique_ptr<models::DistributedModel>(uint64_t init_seed)>;
+
+struct TrainConfig {
+  int n_workers = 4;
+  int batch_per_worker = 16;
+  int epochs = 5;
+  optim::OptimizerConfig optimizer;
+  core::GraceConfig grace;
+  comm::NetworkModel net;
+  TimeModel time;
+  uint64_t seed = 42;
+  // Verify all replicas hold bit-identical parameters at every epoch end
+  // (they must: every worker applies the same update to the same state).
+  bool check_sync = true;
+  int eval_every = 1;  // epochs between test-set evaluations
+  // Step learning-rate schedule: lr *= lr_decay_factor every
+  // lr_decay_every epochs (0 disables).
+  int lr_decay_every = 0;
+  double lr_decay_factor = 0.1;
+  // Tensor fusion (Horovod-style bucketing): concatenate all gradient
+  // tensors into one flat buffer and run a single compress/communicate/
+  // decompress round per iteration, amortizing per-message overhead.
+  // Changes semantics for shape-aware compressors (PowerSGD sees a d x 1
+  // matrix; Top-k selects globally across layers).
+  bool fuse_tensors = false;
+};
+
+// Runs the full training loop; every worker sees the same `factory` and
+// builds its replica with the same init seed (identical start state).
+RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg);
+
+}  // namespace grace::sim

@@ -1,0 +1,30 @@
+// Element types supported by the tensor library. F32 carries model data and
+// gradients; I32 carries sparse indices; U8 carries bit-packed wire payloads.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace grace {
+
+enum class DType { F32, I32, U8 };
+
+inline size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::F32: return 4;
+    case DType::I32: return 4;
+    case DType::U8: return 1;
+  }
+  return 0;
+}
+
+inline std::string dtype_name(DType t) {
+  switch (t) {
+    case DType::F32: return "f32";
+    case DType::I32: return "i32";
+    case DType::U8: return "u8";
+  }
+  return "?";
+}
+
+}  // namespace grace

@@ -1,0 +1,115 @@
+#include "tensor/matmul.h"
+
+#include <cassert>
+#include <vector>
+
+namespace grace::ops {
+namespace {
+
+// Inner kernel: C(m x n) += alpha * A(m x k) * B(k x n), all row-major,
+// i-k-j loop order for sequential access on B and C.
+void gemm_nn(int64_t m, int64_t n, int64_t k, float alpha,
+             const float* a, const float* b, std::span<float> c) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c.data() + i * n;
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void transpose(std::span<const float> in, int64_t m, int64_t n,
+               std::span<float> out) {
+  assert(static_cast<int64_t>(in.size()) >= m * n);
+  assert(static_cast<int64_t>(out.size()) >= m * n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out[j * m + i] = in[i * n + j];
+  }
+}
+
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, std::span<const float> a, std::span<const float> b,
+          float beta, std::span<float> c) {
+  assert(static_cast<int64_t>(c.size()) >= m * n);
+  if (beta == 0.0f) {
+    std::fill(c.begin(), c.begin() + m * n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < m * n; ++i) c[static_cast<size_t>(i)] *= beta;
+  }
+  // Materialize transposes once; sizes in this project are small enough that
+  // clarity beats blocked in-place kernels.
+  std::vector<float> abuf, bbuf;
+  const float* ap = a.data();
+  const float* bp = b.data();
+  if (trans_a) {
+    abuf.resize(static_cast<size_t>(m * k));
+    transpose(a, k, m, abuf);
+    ap = abuf.data();
+  }
+  if (trans_b) {
+    bbuf.resize(static_cast<size_t>(k * n));
+    transpose(b, n, k, bbuf);
+    bp = bbuf.data();
+  }
+  gemm_nn(m, n, k, alpha, ap, bp, c);
+}
+
+void im2col(std::span<const float> img, int64_t c, int64_t h, int64_t w,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            std::span<float> cols) {
+  const int64_t oh = conv_out_dim(h, kh, stride, pad);
+  const int64_t ow = conv_out_dim(w, kw, stride, pad);
+  assert(static_cast<int64_t>(cols.size()) >= c * kh * kw * oh * ow);
+  int64_t row = 0;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj, ++row) {
+        float* dst = cols.data() + row * oh * ow;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * stride + ki - pad;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * stride + kj - pad;
+            const bool in_bounds = ii >= 0 && ii < h && jj >= 0 && jj < w;
+            dst[oi * ow + oj] =
+                in_bounds ? img[static_cast<size_t>((ch * h + ii) * w + jj)]
+                          : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(std::span<const float> cols, int64_t c, int64_t h, int64_t w,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            std::span<float> img) {
+  const int64_t oh = conv_out_dim(h, kh, stride, pad);
+  const int64_t ow = conv_out_dim(w, kw, stride, pad);
+  assert(static_cast<int64_t>(img.size()) >= c * h * w);
+  int64_t row = 0;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t ki = 0; ki < kh; ++ki) {
+      for (int64_t kj = 0; kj < kw; ++kj, ++row) {
+        const float* src = cols.data() + row * oh * ow;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          const int64_t ii = oi * stride + ki - pad;
+          if (ii < 0 || ii >= h) continue;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            const int64_t jj = oj * stride + kj - pad;
+            if (jj < 0 || jj >= w) continue;
+            img[static_cast<size_t>((ch * h + ii) * w + jj)] +=
+                src[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace grace::ops

@@ -1,0 +1,37 @@
+// Dense linear algebra kernels: GEMM, transpose, and the im2col/col2im pair
+// used by convolution layers. Row-major storage throughout.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace grace::ops {
+
+// C(m x n) = alpha * op(A) * op(B) + beta * C, row-major, op = optional
+// transpose. A is (m x k) when !trans_a else (k x m); similarly for B.
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, std::span<const float> a, std::span<const float> b,
+          float beta, std::span<float> c);
+
+// out(n x m) = in(m x n)^T
+void transpose(std::span<const float> in, int64_t m, int64_t n,
+               std::span<float> out);
+
+// Unfold an image (c x h x w) into columns for convolution with a
+// (kh x kw) kernel, stride and zero padding. Output is
+// (c*kh*kw) x (oh*ow), row-major. oh/ow are the spatial output dims.
+void im2col(std::span<const float> img, int64_t c, int64_t h, int64_t w,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            std::span<float> cols);
+
+// Adjoint of im2col: accumulate columns back into the image buffer.
+// The image buffer must be zeroed (or hold a partial sum) by the caller.
+void col2im(std::span<const float> cols, int64_t c, int64_t h, int64_t w,
+            int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+            std::span<float> img);
+
+inline int64_t conv_out_dim(int64_t in, int64_t k, int64_t stride, int64_t pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace grace::ops

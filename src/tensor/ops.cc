@@ -1,0 +1,154 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace grace::ops {
+
+void fill(std::span<float> x, float v) { std::fill(x.begin(), x.end(), v); }
+
+void scale(std::span<float> x, float a) {
+  for (auto& v : x) v *= a;
+}
+
+void add(std::span<float> y, std::span<const float> x) {
+  assert(y.size() == x.size());
+  for (size_t i = 0; i < y.size(); ++i) y[i] += x[i];
+}
+
+void sub(std::span<float> y, std::span<const float> x) {
+  assert(y.size() == x.size());
+  for (size_t i = 0; i < y.size(); ++i) y[i] -= x[i];
+}
+
+void axpy(std::span<float> y, float a, std::span<const float> x) {
+  assert(y.size() == x.size());
+  for (size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+void copy(std::span<float> dst, std::span<const float> src) {
+  assert(dst.size() == src.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+}
+
+void hadamard(std::span<float> y, std::span<const float> x) {
+  assert(y.size() == x.size());
+  for (size_t i = 0; i < y.size(); ++i) y[i] *= x[i];
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+float sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(std::span<const float> x) {
+  return x.empty() ? 0.0f : sum(x) / static_cast<float>(x.size());
+}
+
+float l1_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += std::fabs(v);
+  return static_cast<float>(acc);
+}
+
+float l2_norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float linf_norm(std::span<const float> x) {
+  float m = 0.0f;
+  for (float v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float max(std::span<const float> x) {
+  float m = -std::numeric_limits<float>::infinity();
+  for (float v : x) m = std::max(m, v);
+  return m;
+}
+
+float min(std::span<const float> x) {
+  float m = std::numeric_limits<float>::infinity();
+  for (float v : x) m = std::min(m, v);
+  return m;
+}
+
+int64_t argmax(std::span<const float> x) {
+  return std::distance(x.begin(), std::max_element(x.begin(), x.end()));
+}
+
+int64_t count_nonzero(std::span<const float> x) {
+  return std::count_if(x.begin(), x.end(), [](float v) { return v != 0.0f; });
+}
+
+void abs_inplace(std::span<float> x) {
+  for (auto& v : x) v = std::fabs(v);
+}
+
+void sign_into(std::span<const float> x, std::span<float> out) {
+  assert(x.size() == out.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] < 0.0f ? -1.0f : 1.0f;
+}
+
+void clamp(std::span<float> x, float lo, float hi) {
+  for (auto& v : x) v = std::clamp(v, lo, hi);
+}
+
+std::vector<int32_t> topk_abs_indices(std::span<const float> x, int64_t k) {
+  const auto n = static_cast<int64_t>(x.size());
+  k = std::clamp<int64_t>(k, 0, n);
+  std::vector<int32_t> idx(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  auto cmp = [&](int32_t a, int32_t b) {
+    const float fa = std::fabs(x[static_cast<size_t>(a)]);
+    const float fb = std::fabs(x[static_cast<size_t>(b)]);
+    // Break magnitude ties by index so selection is deterministic.
+    return fa != fb ? fa > fb : a < b;
+  };
+  std::nth_element(idx.begin(), idx.begin() + k, idx.end(), cmp);
+  idx.resize(static_cast<size_t>(k));
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+float kth_largest_abs(std::span<const float> x, int64_t k) {
+  assert(k >= 1 && k <= static_cast<int64_t>(x.size()));
+  std::vector<float> mags(x.size());
+  for (size_t i = 0; i < x.size(); ++i) mags[i] = std::fabs(x[i]);
+  std::nth_element(mags.begin(), mags.begin() + (k - 1), mags.end(),
+                   std::greater<>());
+  return mags[static_cast<size_t>(k - 1)];
+}
+
+std::vector<int32_t> threshold_indices(std::span<const float> x, float threshold) {
+  std::vector<int32_t> out;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) > threshold) out.push_back(static_cast<int32_t>(i));
+  }
+  return out;
+}
+
+float abs_quantile(std::span<const float> x, double q) {
+  if (x.empty()) return 0.0f;
+  std::vector<float> mags(x.size());
+  for (size_t i = 0; i < x.size(); ++i) mags[i] = std::fabs(x[i]);
+  const auto pos = static_cast<int64_t>(
+      q * static_cast<double>(mags.size() - 1) + 0.5);
+  std::nth_element(mags.begin(), mags.begin() + pos, mags.end());
+  return mags[static_cast<size_t>(pos)];
+}
+
+}  // namespace grace::ops

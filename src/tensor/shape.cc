@@ -1,0 +1,32 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+namespace grace {
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+Shape Shape::as_matrix() const {
+  if (rank() == 0) return Shape{{1, 1}};
+  if (rank() == 1) return Shape{{dims_[0], 1}};
+  int64_t rest = 1;
+  for (size_t i = 1; i < dims_.size(); ++i) rest *= dims_[i];
+  return Shape{{dims_[0], rest}};
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ',';
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace grace

@@ -1,0 +1,32 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+
+namespace grace {
+
+Tensor Tensor::from(std::span<const float> values, Shape shape) {
+  assert(static_cast<int64_t>(values.size()) == shape.numel());
+  Tensor t(DType::F32, std::move(shape));
+  std::copy(values.begin(), values.end(), t.f32().begin());
+  return t;
+}
+
+Tensor Tensor::from_i32(std::span<const int32_t> values) {
+  Tensor t(DType::I32, Shape{{static_cast<int64_t>(values.size())}});
+  std::copy(values.begin(), values.end(), t.i32().begin());
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float v) {
+  Tensor t(DType::F32, std::move(shape));
+  std::fill(t.f32().begin(), t.f32().end(), v);
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape s) const {
+  Tensor t = *this;
+  t.set_shape(std::move(s));
+  return t;
+}
+
+}  // namespace grace

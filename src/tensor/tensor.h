@@ -1,0 +1,95 @@
+// Dense CPU tensor with raw byte storage and typed span views.
+//
+// Tensors are plain value types: copyable, movable, and always contiguous.
+// The raw-byte representation makes wire accounting trivial (size_bytes() is
+// exactly what a serializer would transmit for the standard representation
+// the paper uses: 4 bytes per float32/int32, 1 byte per u8).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace grace {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(DType dtype, Shape shape)
+      : dtype_(dtype),
+        shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.numel()) * dtype_size(dtype)) {}
+
+  static Tensor zeros(Shape shape) { return Tensor(DType::F32, std::move(shape)); }
+  static Tensor zeros_like(const Tensor& t) { return Tensor(t.dtype(), t.shape()); }
+  static Tensor from(std::span<const float> values, Shape shape);
+  static Tensor from(std::span<const float> values) {
+    return from(values, Shape{{static_cast<int64_t>(values.size())}});
+  }
+  static Tensor from_i32(std::span<const int32_t> values);
+  static Tensor scalar(float v) { return from(std::span<const float>(&v, 1), Shape{}); }
+  static Tensor full(Shape shape, float v);
+
+  DType dtype() const { return dtype_; }
+  const Shape& shape() const { return shape_; }
+  int64_t numel() const { return shape_.numel(); }
+  size_t size_bytes() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  // Typed views. The dtype is asserted, not converted.
+  std::span<float> f32() {
+    assert(dtype_ == DType::F32);
+    return {reinterpret_cast<float*>(data_.data()), static_cast<size_t>(numel())};
+  }
+  std::span<const float> f32() const {
+    assert(dtype_ == DType::F32);
+    return {reinterpret_cast<const float*>(data_.data()), static_cast<size_t>(numel())};
+  }
+  std::span<int32_t> i32() {
+    assert(dtype_ == DType::I32);
+    return {reinterpret_cast<int32_t*>(data_.data()), static_cast<size_t>(numel())};
+  }
+  std::span<const int32_t> i32() const {
+    assert(dtype_ == DType::I32);
+    return {reinterpret_cast<const int32_t*>(data_.data()), static_cast<size_t>(numel())};
+  }
+  std::span<uint8_t> u8() {
+    assert(dtype_ == DType::U8);
+    return {reinterpret_cast<uint8_t*>(data_.data()), static_cast<size_t>(numel())};
+  }
+  std::span<const uint8_t> u8() const {
+    assert(dtype_ == DType::U8);
+    return {reinterpret_cast<const uint8_t*>(data_.data()), static_cast<size_t>(numel())};
+  }
+
+  std::span<const std::byte> bytes() const { return {data_.data(), data_.size()}; }
+  std::span<std::byte> bytes() { return {data_.data(), data_.size()}; }
+
+  // Reinterpret with a new shape; numel must match.
+  Tensor reshaped(Shape s) const;
+  void set_shape(Shape s) {
+    assert(s.numel() == numel());
+    shape_ = std::move(s);
+  }
+
+  float item() const {
+    assert(numel() == 1);
+    return f32()[0];
+  }
+
+  bool same_layout(const Tensor& o) const {
+    return dtype_ == o.dtype_ && shape_ == o.shape_;
+  }
+
+ private:
+  DType dtype_ = DType::F32;
+  Shape shape_{{0}};
+  std::vector<std::byte> data_;
+};
+
+}  // namespace grace

@@ -1,0 +1,225 @@
+// Autograd engine: finite-difference gradient checks for every op, plus
+// tape mechanics (topological order, accumulation, reuse).
+#include <gtest/gtest.h>
+
+#include "nn/conv_ops.h"
+#include "nn/gradcheck.h"
+#include "nn/layers.h"
+#include "nn/ops.h"
+
+namespace grace::nn {
+namespace {
+
+constexpr double kTol = 4e-2;  // float32 central differences
+
+Tensor randn(Rng& rng, Shape shape, float stddev = 1.0f) {
+  Tensor t(DType::F32, std::move(shape));
+  rng.fill_normal(t.f32(), 0.0f, stddev);
+  return t;
+}
+
+TEST(Autograd, BackwardOfSum) {
+  auto x = make_value(Tensor::from(std::vector<float>{1, 2, 3}));
+  backward(sum_all(x));
+  for (float g : x->grad.f32()) EXPECT_FLOAT_EQ(g, 1.0f);
+}
+
+TEST(Autograd, GradientsAccumulateAcrossBackwardCalls) {
+  auto x = make_value(Tensor::from(std::vector<float>{1, 2}));
+  backward(sum_all(x));
+  backward(sum_all(x));
+  for (float g : x->grad.f32()) EXPECT_FLOAT_EQ(g, 2.0f);
+}
+
+TEST(Autograd, DiamondGraphAccumulates) {
+  // y = sum(x + x): dy/dx = 2.
+  auto x = make_value(Tensor::from(std::vector<float>{1, 2}));
+  backward(sum_all(add(x, x)));
+  for (float g : x->grad.f32()) EXPECT_FLOAT_EQ(g, 2.0f);
+}
+
+TEST(Autograd, TopoOrderRootFirst) {
+  auto x = make_value(Tensor::from(std::vector<float>{1}));
+  auto y = scale(x, 2.0f);
+  auto z = sum_all(y);
+  auto order = topo_order(z);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.front(), z.get());
+  EXPECT_EQ(order.back(), x.get());
+}
+
+// --- Per-op gradient checks -------------------------------------------
+
+class OpGradCheck : public ::testing::Test {
+ protected:
+  Rng rng_{12345};
+
+  void check(Module& m, const std::function<Value()>& loss) {
+    auto result = gradcheck(m, loss, rng_);
+    EXPECT_GT(result.checked, 0);
+    EXPECT_LT(result.max_rel_error, kTol);
+  }
+};
+
+TEST_F(OpGradCheck, AddSubScale) {
+  Module m;
+  auto& a = m.register_parameter("a", randn(rng_, Shape{{3, 4}}));
+  auto& b = m.register_parameter("b", randn(rng_, Shape{{3, 4}}));
+  // d/da = 2.5, d/db = -1 (avoid exact cancellation, which makes the
+  // numeric quotient pure rounding noise).
+  check(m, [&] {
+    return sum_all(add(scale(a.value, 1.5f), sub(a.value, b.value)));
+  });
+}
+
+TEST_F(OpGradCheck, Hadamard) {
+  Module m;
+  auto& a = m.register_parameter("a", randn(rng_, Shape{{2, 5}}));
+  auto& b = m.register_parameter("b", randn(rng_, Shape{{2, 5}}));
+  check(m, [&] { return sum_all(hadamard(a.value, b.value)); });
+}
+
+TEST_F(OpGradCheck, MatmulAndBias) {
+  Module m;
+  auto& a = m.register_parameter("a", randn(rng_, Shape{{4, 3}}));
+  auto& b = m.register_parameter("b", randn(rng_, Shape{{3, 2}}));
+  auto& bias = m.register_parameter("bias", randn(rng_, Shape{{2}}));
+  check(m, [&] { return mean_all(add_bias(matmul(a.value, b.value), bias.value)); });
+}
+
+TEST_F(OpGradCheck, Activations) {
+  Module m;
+  auto& a = m.register_parameter("a", randn(rng_, Shape{{3, 3}}));
+  check(m, [&] { return sum_all(relu(a.value)); });
+  check(m, [&] { return sum_all(sigmoid(a.value)); });
+  check(m, [&] { return sum_all(tanh_op(a.value)); });
+}
+
+TEST_F(OpGradCheck, ReshapeSliceConcat) {
+  Module m;
+  auto& a = m.register_parameter("a", randn(rng_, Shape{{2, 6}}));
+  auto& b = m.register_parameter("b", randn(rng_, Shape{{2, 3}}));
+  check(m, [&] {
+    auto r = reshape(a.value, Shape{{3, 4}});
+    return sum_all(hadamard(r, r));
+  });
+  check(m, [&] { return sum_all(slice_cols(a.value, 1, 3)); });
+  check(m, [&] {
+    auto c = concat_cols(slice_cols(a.value, 0, 3), b.value);
+    return sum_all(hadamard(c, c));
+  });
+}
+
+TEST_F(OpGradCheck, Embedding) {
+  Module m;
+  auto& table = m.register_parameter("t", randn(rng_, Shape{{7, 4}}));
+  check(m, [&] {
+    auto e = embedding(table.value, {0, 3, 3, 6});
+    return sum_all(hadamard(e, e));
+  });
+}
+
+TEST_F(OpGradCheck, SoftmaxCrossEntropy) {
+  Module m;
+  auto& logits = m.register_parameter("z", randn(rng_, Shape{{5, 4}}));
+  check(m, [&] { return softmax_cross_entropy(logits.value, {0, 1, 2, 3, 1}); });
+}
+
+TEST_F(OpGradCheck, BceWithLogits) {
+  Module m;
+  auto& logits = m.register_parameter("z", randn(rng_, Shape{{4, 2}}));
+  Tensor targets = Tensor::from(std::vector<float>{0, 1, 1, 0, 0.5f, 1}, Shape{{3, 2}});
+  auto& z2 = m.register_parameter("z2", randn(rng_, Shape{{3, 2}}));
+  check(m, [&] { return bce_with_logits(z2.value, targets); });
+  (void)logits;
+}
+
+TEST_F(OpGradCheck, MseLoss) {
+  Module m;
+  auto& pred = m.register_parameter("p", randn(rng_, Shape{{3, 3}}));
+  Tensor target = randn(rng_, Shape{{3, 3}});
+  check(m, [&] { return mse_loss(pred.value, target); });
+}
+
+TEST_F(OpGradCheck, Conv2d) {
+  Module m;
+  auto& x = m.register_parameter("x", randn(rng_, Shape{{2, 2, 5, 5}}));
+  auto& w = m.register_parameter("w", randn(rng_, Shape{{3, 2, 3, 3}}, 0.5f));
+  auto& b = m.register_parameter("b", randn(rng_, Shape{{3}}));
+  check(m, [&] {
+    auto y = conv2d(x.value, w.value, b.value, 1, 1);
+    return mean_all(hadamard(y, y));
+  });
+}
+
+TEST_F(OpGradCheck, Conv2dStride2NoPad) {
+  Module m;
+  auto& x = m.register_parameter("x", randn(rng_, Shape{{1, 1, 6, 6}}));
+  auto& w = m.register_parameter("w", randn(rng_, Shape{{2, 1, 2, 2}}));
+  auto& b = m.register_parameter("b", randn(rng_, Shape{{2}}));
+  check(m, [&] { return mean_all(conv2d(x.value, w.value, b.value, 2, 0)); });
+}
+
+TEST_F(OpGradCheck, MaxPoolAndUpsample) {
+  Module m;
+  auto& x = m.register_parameter("x", randn(rng_, Shape{{2, 2, 4, 4}}));
+  check(m, [&] {
+    auto y = maxpool2x2(x.value);
+    return mean_all(hadamard(y, y));
+  });
+  check(m, [&] {
+    auto y = upsample2x(x.value);
+    return mean_all(hadamard(y, y));
+  });
+}
+
+TEST_F(OpGradCheck, ConcatChannels) {
+  Module m;
+  auto& a = m.register_parameter("a", randn(rng_, Shape{{2, 2, 3, 3}}));
+  auto& b = m.register_parameter("b", randn(rng_, Shape{{2, 1, 3, 3}}));
+  check(m, [&] {
+    auto c = concat_channels(a.value, b.value);
+    return mean_all(hadamard(c, c));
+  });
+}
+
+TEST_F(OpGradCheck, LstmCellThroughTime) {
+  Module m;
+  nn::LstmCell cell(m, "lstm", 3, 4, rng_);
+  auto& x0 = m.register_parameter("x0", randn(rng_, Shape{{2, 3}}));
+  auto& x1 = m.register_parameter("x1", randn(rng_, Shape{{2, 3}}));
+  check(m, [&] {
+    auto h = make_value(Tensor::zeros(Shape{{2, 4}}), false);
+    auto c = make_value(Tensor::zeros(Shape{{2, 4}}), false);
+    auto [h1, c1] = cell.forward(x0.value, h, c);
+    auto [h2, c2] = cell.forward(x1.value, h1, c1);
+    return sum_all(hadamard(h2, h2));
+  });
+}
+
+TEST(AutogradModule, ZeroGradClears) {
+  Rng rng(5);
+  Module m;
+  auto& a = m.register_parameter("a", randn(rng, Shape{{4}}));
+  backward(sum_all(a.value));
+  m.zero_grad();
+  for (float g : a.value->grad.f32()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(AutogradModule, NumParametersAndCopy) {
+  Rng rng(5);
+  Module a, b;
+  Linear la(a, "fc", 3, 2, rng);
+  Rng rng2(99);
+  Linear lb(b, "fc", 3, 2, rng2);
+  EXPECT_EQ(a.num_parameters(), 3 * 2 + 2);
+  b.copy_parameters_from(a);
+  for (size_t i = 0; i < a.parameters().size(); ++i) {
+    auto pa = a.parameters()[i].value->data.f32();
+    auto pb = b.parameters()[i].value->data.f32();
+    for (size_t j = 0; j < pa.size(); ++j) EXPECT_EQ(pa[j], pb[j]);
+  }
+}
+
+}  // namespace
+}  // namespace grace::nn

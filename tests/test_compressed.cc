@@ -1,0 +1,71 @@
+// CompressedTensor serialization and Context equality.
+#include <gtest/gtest.h>
+
+#include "core/compressed.h"
+
+namespace grace::core {
+namespace {
+
+CompressedTensor sample() {
+  CompressedTensor ct;
+  ct.parts.push_back(Tensor::from(std::vector<float>{1.5f, -2.5f}));
+  Tensor idx(DType::I32, Shape{{3}});
+  idx.i32()[0] = 7;
+  idx.i32()[1] = -1;
+  idx.i32()[2] = 1 << 20;
+  ct.parts.push_back(idx);
+  Tensor bytes(DType::U8, Shape{{5}});
+  for (int i = 0; i < 5; ++i) bytes.u8()[static_cast<size_t>(i)] = static_cast<uint8_t>(i * 50);
+  ct.parts.push_back(bytes);
+  ct.ctx.shape = Shape{{4, 8}};
+  ct.ctx.scalars = {3.14f, -1.0f};
+  ct.ctx.ints = {42, -7};
+  ct.ctx.wire_bits = 12345;
+  return ct;
+}
+
+TEST(Compressed, SerializeRoundTrip) {
+  CompressedTensor ct = sample();
+  CompressedTensor back = deserialize(serialize(ct));
+  ASSERT_EQ(back.parts.size(), 3u);
+  EXPECT_EQ(back.parts[0].dtype(), DType::F32);
+  EXPECT_FLOAT_EQ(back.parts[0].f32()[1], -2.5f);
+  EXPECT_EQ(back.parts[1].dtype(), DType::I32);
+  EXPECT_EQ(back.parts[1].i32()[2], 1 << 20);
+  EXPECT_EQ(back.parts[2].dtype(), DType::U8);
+  EXPECT_EQ(back.parts[2].u8()[4], 200);
+  EXPECT_EQ(back.ctx, ct.ctx);
+}
+
+TEST(Compressed, EmptyParts) {
+  CompressedTensor ct;
+  ct.ctx.shape = Shape{{0}};
+  CompressedTensor back = deserialize(serialize(ct));
+  EXPECT_TRUE(back.parts.empty());
+  EXPECT_EQ(back.ctx.shape, Shape({0}));
+}
+
+TEST(Compressed, WireBytesRoundsUp) {
+  CompressedTensor ct;
+  ct.ctx.wire_bits = 9;
+  EXPECT_EQ(ct.wire_bytes(), 2u);
+  ct.ctx.wire_bits = 16;
+  EXPECT_EQ(ct.wire_bytes(), 2u);
+  ct.ctx.wire_bits = 0;
+  EXPECT_EQ(ct.wire_bytes(), 0u);
+}
+
+TEST(Compressed, StorageBytes) {
+  CompressedTensor ct = sample();
+  EXPECT_EQ(ct.storage_bytes(), 2u * 4 + 3u * 4 + 5u);
+}
+
+TEST(Compressed, TruncatedBlobThrows) {
+  Tensor blob = serialize(sample());
+  Tensor cut(DType::U8, Shape{{blob.numel() / 2}});
+  std::copy_n(blob.u8().begin(), cut.numel(), cut.u8().begin());
+  EXPECT_THROW(deserialize(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace grace::core

@@ -1,0 +1,221 @@
+// Contract properties every compressor must satisfy, run parameterized over
+// the full roster (Table I): shape/dtype restoration, wire accounting,
+// serialization transparency, determinism for deterministic operators, and
+// the delta-compressor error bound for methods that guarantee one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.h"
+#include "tensor/ops.h"
+
+namespace grace::core {
+namespace {
+
+std::vector<std::string> all_specs() {
+  return {"none",          "eightbit",       "onebit",        "signsgd",
+          "signum",        "qsgd(64)",       "natural",       "terngrad",
+          "efsignsgd",     "inceptionn",     "randomk(0.1)",  "topk(0.1)",
+          "thresholdv(0.05)", "dgc(0.1)",    "adaptive(0.1)", "sketchml(64)",
+          "powersgd(2)",
+          // Extensions beyond the paper's 16 (see registry extension_names).
+          "lpcsvrg(4)",    "wangni(0.1)",    "threelc(1)",
+          "sketchedsgd(5,0.1,0.1)", "atomo(2,2)", "qsparselocal(0.1,4)",
+          "varbased(1)",   "gradiveq(4,5)",  "gradzip(2)"};
+}
+
+Tensor random_grad(uint64_t seed, Shape shape = Shape{{24, 16}}) {
+  Rng rng(seed);
+  Tensor t(DType::F32, std::move(shape));
+  rng.fill_normal(t.f32(), 0.0f, 0.5f);
+  return t;
+}
+
+class CompressorContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CompressorContract, DecompressRestoresShapeAndDtype) {
+  auto q = make_compressor(GetParam());
+  Rng rng(1);
+  for (Shape shape : {Shape{{24, 16}}, Shape{{100}}, Shape{{4, 3, 5, 5}}}) {
+    Tensor grad = random_grad(7, shape);
+    Tensor restored = q->decompress(q->compress(grad, "t", rng));
+    EXPECT_EQ(restored.shape(), shape) << GetParam();
+    EXPECT_EQ(restored.dtype(), DType::F32);
+  }
+}
+
+TEST_P(CompressorContract, WireBitsArePositiveAndFinite) {
+  auto q = make_compressor(GetParam());
+  Rng rng(2);
+  Tensor grad = random_grad(8);
+  auto ct = q->compress(grad, "t", rng);
+  EXPECT_GT(ct.ctx.wire_bits, 0u);
+  EXPECT_LT(ct.ctx.wire_bits, 1ull << 40);
+}
+
+TEST_P(CompressorContract, SizeReducersBeatRawEncoding) {
+  // Everything except the baseline and the fixed-threshold method (whose
+  // size depends on the data) must use fewer wire bits than raw float32.
+  const std::string spec = GetParam();
+  if (spec == "none" || spec.starts_with("thresholdv")) return;
+  auto q = make_compressor(spec);
+  Rng rng(3);
+  Tensor grad = random_grad(9);
+  auto ct = q->compress(grad, "t", rng);
+  EXPECT_LT(ct.ctx.wire_bits, static_cast<uint64_t>(grad.numel()) * 32) << spec;
+}
+
+TEST_P(CompressorContract, SerializationIsTransparent) {
+  // decompress(deserialize(serialize(Q(g)))) == decompress(Q(g)) bit-exactly:
+  // what a peer reconstructs equals what the sender reconstructs.
+  auto q = make_compressor(GetParam());
+  Rng rng(4);
+  Tensor grad = random_grad(10);
+  auto ct = q->compress(grad, "t", rng);
+  Tensor direct = q->decompress(ct);
+  Tensor via_wire = q->decompress(deserialize(serialize(ct)));
+  ASSERT_EQ(direct.numel(), via_wire.numel());
+  for (int64_t i = 0; i < direct.numel(); ++i) {
+    ASSERT_EQ(direct.f32()[static_cast<size_t>(i)], via_wire.f32()[static_cast<size_t>(i)])
+        << GetParam() << " at " << i;
+  }
+}
+
+TEST_P(CompressorContract, DeterministicOperatorsAreDeterministic) {
+  // DGC's *selection rule* is deterministic (Table I) but its threshold is
+  // estimated from a random sample, like the reference implementation, so
+  // it is exempt here.
+  if (GetParam().starts_with("dgc")) return;
+  auto q1 = make_compressor(GetParam());
+  auto q2 = make_compressor(GetParam());
+  if (q1->info().nature != QNature::Deterministic) return;
+  Rng rng1(5), rng2(999);  // different RNGs must not matter
+  Tensor grad = random_grad(11);
+  Tensor a = q1->decompress(q1->compress(grad, "t", rng1));
+  Tensor b = q2->decompress(q2->compress(grad, "t", rng2));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.f32()[static_cast<size_t>(i)], b.f32()[static_cast<size_t>(i)]) << GetParam();
+  }
+}
+
+TEST_P(CompressorContract, AggregateOfIdenticalInputsIsIdentity) {
+  auto q = make_compressor(GetParam());
+  Tensor g = random_grad(12);
+  Tensor agg = q->aggregate({g, g, g});
+  for (int64_t i = 0; i < g.numel(); ++i) {
+    EXPECT_NEAR(agg.f32()[static_cast<size_t>(i)], g.f32()[static_cast<size_t>(i)], 1e-5f);
+  }
+}
+
+TEST_P(CompressorContract, InfoIsConsistentWithRegistry) {
+  auto q = make_compressor(GetParam());
+  const auto info = q->info();
+  EXPECT_FALSE(info.name.empty());
+  EXPECT_EQ(info.name, parse_spec(GetParam()).name);
+}
+
+TEST_P(CompressorContract, HandlesTinyTensors) {
+  auto q = make_compressor(GetParam());
+  Rng rng(6);
+  for (int64_t n : {1, 2, 3}) {
+    Tensor grad = random_grad(13, Shape{{n}});
+    Tensor restored = q->decompress(q->compress(grad, "tiny", rng));
+    EXPECT_EQ(restored.numel(), n) << GetParam();
+  }
+}
+
+TEST_P(CompressorContract, HandlesZeroGradient) {
+  auto q = make_compressor(GetParam());
+  Rng rng(7);
+  Tensor grad = Tensor::zeros(Shape{{64}});
+  Tensor restored = q->decompress(q->compress(grad, "z", rng));
+  // Reconstruction of a zero gradient must stay bounded (no NaN/Inf).
+  for (float v : restored.f32()) {
+    EXPECT_TRUE(std::isfinite(v)) << GetParam();
+  }
+}
+
+TEST_P(CompressorContract, CompressionErrorBounded) {
+  // EQ ||x - Q(x)||^2 <= Omega ||x||^2 with Omega <= ~1.2 for everything we
+  // implement except unbiased dithering schemes whose variance can exceed
+  // ||x||^2 at coarse levels (natural/qsgd/terngrad are checked separately
+  // for unbiasedness instead).
+  const std::string spec = GetParam();
+  if (spec == "natural" || spec.starts_with("qsgd") ||
+      spec == "terngrad" || spec == "signum" ||
+      // Unbiased dithering/sampling extensions: variance, not error bound.
+      spec.starts_with("lpcsvrg") || spec.starts_with("wangni") ||
+      spec.starts_with("atomo") ||
+      // Count-sketch estimates carry collision noise beyond the bound.
+      spec.starts_with("sketchedsgd") ||
+      // Raw sign compression has no scale, so ||x - Q(x)|| can exceed ||x||
+      // (the very defect EF-SignSGD's ||.||_1/d scale fixes).
+      spec == "signsgd" ||
+      // DGC ships *accumulated* gradient mass; single-shot error vs the
+      // current gradient is not its contract.
+      spec.starts_with("dgc")) {
+    return;
+  }
+  auto q = make_compressor(spec);
+  Rng rng(8);
+  double err2 = 0.0, norm2 = 0.0;
+  for (int trial = 0; trial < 8; ++trial) {
+    Tensor grad = random_grad(100 + static_cast<uint64_t>(trial));
+    Tensor restored = q->decompress(q->compress(grad, "e", rng));
+    Tensor diff = restored;
+    ops::sub(diff.f32(), grad.f32());
+    err2 += std::pow(static_cast<double>(ops::l2_norm(diff.f32())), 2);
+    norm2 += std::pow(static_cast<double>(ops::l2_norm(grad.f32())), 2);
+  }
+  EXPECT_LE(err2, 1.2 * norm2) << spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCompressors, CompressorContract,
+                         ::testing::ValuesIn(all_specs()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Registry, ParseSpec) {
+  auto s = parse_spec("topk(0.25)");
+  EXPECT_EQ(s.name, "topk");
+  ASSERT_EQ(s.args.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.args[0], 0.25);
+  EXPECT_EQ(parse_spec("none").args.size(), 0u);
+  auto two = parse_spec("randomk(0.1,1)");
+  ASSERT_EQ(two.args.size(), 2u);
+  EXPECT_DOUBLE_EQ(two.args[1], 1.0);
+  EXPECT_EQ(two.to_string(), "randomk(0.1,1)");
+}
+
+TEST(Registry, RejectsMalformed) {
+  EXPECT_THROW(parse_spec("topk(0.1"), std::invalid_argument);
+  EXPECT_THROW(make_compressor("nope"), std::invalid_argument);
+  EXPECT_THROW(make_compressor("topk(x)"), std::invalid_argument);
+}
+
+TEST(Registry, TaxonomyCoversSeventeenMethods) {
+  auto rows = taxonomy();
+  EXPECT_EQ(rows.size(), 17u);  // 16 methods + baseline, per Table I
+  int quant = 0, sparse = 0, hybrid = 0, lowrank = 0;
+  for (const auto& r : rows) {
+    switch (r.klass) {
+      case CompressorClass::Quantization: ++quant; break;
+      case CompressorClass::Sparsification: ++sparse; break;
+      case CompressorClass::Hybrid: ++hybrid; break;
+      case CompressorClass::LowRank: ++lowrank; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(quant, 9);
+  EXPECT_EQ(sparse, 4);
+  EXPECT_EQ(hybrid, 2);
+  EXPECT_EQ(lowrank, 1);
+}
+
+}  // namespace
+}  // namespace grace::core

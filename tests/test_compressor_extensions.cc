@@ -1,0 +1,378 @@
+// Method-specific tests for the extension compressors (surveyed in the
+// paper's Table I, implemented here beyond its 16).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/compressors/compressors.h"
+#include "core/registry.h"
+#include "tensor/ops.h"
+
+namespace grace::core {
+namespace {
+
+Tensor random_grad(uint64_t seed, int64_t n = 512) {
+  Rng rng(seed);
+  Tensor t(DType::F32, Shape{{n}});
+  rng.fill_normal(t.f32(), 0.0f, 1.0f);
+  return t;
+}
+
+void expect_unbiased(Compressor& q, double tol, int64_t n = 64,
+                     int trials = 3000) {
+  Rng rng(42);
+  Tensor grad = random_grad(5, n);
+  Tensor mean = Tensor::zeros(Shape{{n}});
+  for (int t = 0; t < trials; ++t) {
+    Tensor restored = q.decompress(q.compress(grad, "u", rng));
+    ops::add(mean.f32(), restored.f32());
+  }
+  ops::scale(mean.f32(), 1.0f / static_cast<float>(trials));
+  Tensor diff = mean;
+  ops::sub(diff.f32(), grad.f32());
+  EXPECT_LT(ops::linf_norm(diff.f32()), tol);
+}
+
+TEST(LpcSvrg, Unbiased) {
+  auto q = compressors::make_lpcsvrg(3);
+  expect_unbiased(*q, 0.2);
+}
+
+TEST(LpcSvrg, CodesRespectBitWidth) {
+  auto q = compressors::make_lpcsvrg(3);
+  Rng rng(1);
+  Tensor grad = random_grad(2, 200);
+  auto ct = q->compress(grad, "t", rng);
+  for (uint8_t c : ct.parts[0].u8()) EXPECT_LT(c, 8);  // 3-bit codes
+  EXPECT_EQ(ct.ctx.wire_bits, 200u * 3 + 32);
+}
+
+TEST(LpcSvrg, GridValuesOnly) {
+  auto q = compressors::make_lpcsvrg(4);
+  Rng rng(1);
+  Tensor grad = random_grad(3, 100);
+  auto ct = q->compress(grad, "t", rng);
+  const float delta = ct.ctx.scalars.at(0);
+  Tensor restored = q->decompress(ct);
+  for (float v : restored.f32()) {
+    const float cells = v / delta;
+    EXPECT_NEAR(cells, std::round(cells), 1e-3f);
+  }
+}
+
+TEST(Wangni, Unbiased) {
+  auto q = compressors::make_wangni(0.3);
+  expect_unbiased(*q, 0.5);  // high variance by design at coarse budgets
+}
+
+TEST(Wangni, BudgetControlsExpectedSize) {
+  auto q = compressors::make_wangni(0.1);
+  Rng rng(7);
+  Tensor grad = random_grad(4, 2000);
+  double kept = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    kept += static_cast<double>(q->compress(grad, "t", rng).parts[1].numel());
+  }
+  // Expected selections <= budget (probabilities saturate at 1 for heavy
+  // coordinates, so the realized count can undershoot but not exceed much).
+  EXPECT_NEAR(kept / trials, 200.0, 80.0);
+}
+
+TEST(Wangni, KeptValuesAreRescaled) {
+  auto q = compressors::make_wangni(0.5);
+  Rng rng(9);
+  Tensor grad = random_grad(5, 100);
+  auto ct = q->compress(grad, "t", rng);
+  auto values = ct.parts[0].f32();
+  auto idx = ct.parts[1].i32();
+  for (size_t i = 0; i < idx.size(); ++i) {
+    const float orig = grad.f32()[static_cast<size_t>(idx[i])];
+    // value = orig / p with p <= 1 -> magnitude never shrinks.
+    EXPECT_GE(std::fabs(values[i]), std::fabs(orig) - 1e-5f);
+    EXPECT_EQ(values[i] >= 0.0f, orig >= 0.0f);
+  }
+}
+
+TEST(ThreeLc, TernaryOutput) {
+  auto q = compressors::make_threelc(1.0);
+  Rng rng(1);
+  Tensor grad = random_grad(6, 300);
+  auto ct = q->compress(grad, "t", rng);
+  const float m = ct.ctx.scalars.at(0);
+  Tensor restored = q->decompress(ct);
+  for (float v : restored.f32()) {
+    EXPECT_TRUE(v == 0.0f || std::fabs(std::fabs(v) - m) < 1e-5f);
+  }
+}
+
+TEST(ThreeLc, FiveDigitsPerByte) {
+  auto q = compressors::make_threelc(1.0);
+  Rng rng(2);
+  Tensor grad = random_grad(7, 1000);
+  auto ct = q->compress(grad, "t", rng);
+  // Without runs: ceil(1000/5) = 200 bytes; with runs, fewer.
+  EXPECT_LE(ct.parts[0].size_bytes(), 200u);
+}
+
+TEST(ThreeLc, ZeroRunsCompress) {
+  auto q = compressors::make_threelc(1.0);
+  Rng rng(3);
+  // Mostly-zero gradient: long zero runs must shrink the payload well
+  // below the dense 1-byte-per-5 packing.
+  Tensor grad = Tensor::zeros(Shape{{1000}});
+  grad.f32()[0] = 1.0f;
+  grad.f32()[999] = -1.0f;
+  auto ct = q->compress(grad, "t", rng);
+  EXPECT_LT(ct.parts[0].size_bytes(), 40u);
+  Tensor restored = q->decompress(ct);
+  EXPECT_GT(restored.f32()[0], 0.0f);
+  EXPECT_LT(restored.f32()[999], 0.0f);
+  EXPECT_EQ(ops::count_nonzero(restored.f32()), 2);
+}
+
+TEST(ThreeLc, SparsityMultiplierShrinksSelection) {
+  Rng rng(4);
+  Tensor grad = random_grad(8, 2000);
+  auto q1 = compressors::make_threelc(1.0);
+  auto q2 = compressors::make_threelc(1.9);
+  const auto n1 = ops::count_nonzero(q1->decompress(q1->compress(grad, "t", rng)).f32());
+  const auto n2 = ops::count_nonzero(q2->decompress(q2->compress(grad, "t", rng)).f32());
+  EXPECT_LT(n2, n1);  // larger s => larger M => more values round to 0
+}
+
+TEST(SketchedSgd, RecoversHeavyHitters) {
+  auto q = compressors::make_sketchedsgd(5, 0.2, 0.02);
+  Rng rng(1);
+  Tensor grad(DType::F32, Shape{{500}});
+  rng.fill_normal(grad.f32(), 0.0f, 0.05f);  // light noise floor
+  grad.f32()[17] = 5.0f;   // heavy hitters
+  grad.f32()[230] = -4.0f;
+  Tensor restored = q->decompress(q->compress(grad, "t", rng));
+  EXPECT_NEAR(restored.f32()[17], 5.0f, 0.5f);
+  EXPECT_NEAR(restored.f32()[230], -4.0f, 0.5f);
+}
+
+TEST(SketchedSgd, WireSizeIndependentOfContent) {
+  auto q = compressors::make_sketchedsgd(5, 0.1, 0.01);
+  Rng rng(2);
+  Tensor sparse = Tensor::zeros(Shape{{1000}});
+  sparse.f32()[3] = 1.0f;
+  Tensor dense = random_grad(9, 1000);
+  const auto a = q->compress(sparse, "t", rng).ctx.wire_bits;
+  const auto b = q->compress(dense, "t", rng).ctx.wire_bits;
+  EXPECT_EQ(a, b);
+}
+
+TEST(SketchedSgd, SeedTravelsInContext) {
+  auto q = compressors::make_sketchedsgd(5, 0.2, 0.05);
+  Rng rng(3);
+  Tensor grad = random_grad(10, 400);
+  auto ct = q->compress(grad, "some.tensor", rng);
+  // A different compressor instance (another worker) decompresses the
+  // serialized payload identically.
+  auto peer = compressors::make_sketchedsgd(5, 0.2, 0.05);
+  Tensor a = q->decompress(ct);
+  Tensor b = peer->decompress(deserialize(serialize(ct)));
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a.f32()[static_cast<size_t>(i)], b.f32()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Atomo, ExactOnRankOneMatrix) {
+  // A rank-1 gradient with budget >= 1 is reconstructed (almost) exactly.
+  auto q = compressors::make_atomo(2, 4.0);
+  Rng rng(1);
+  Tensor grad(DType::F32, Shape{{12, 8}});
+  std::vector<float> u(12), v(8);
+  rng.fill_normal(u, 0.0f, 1.0f);
+  rng.fill_normal(v, 0.0f, 1.0f);
+  for (int64_t i = 0; i < 12; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      grad.f32()[static_cast<size_t>(i * 8 + j)] = u[static_cast<size_t>(i)] * v[static_cast<size_t>(j)];
+    }
+  }
+  Tensor restored = q->decompress(q->compress(grad, "t", rng));
+  Tensor diff = restored;
+  ops::sub(diff.f32(), grad.f32());
+  EXPECT_LT(ops::l2_norm(diff.f32()), 0.05f * ops::l2_norm(grad.f32()));
+}
+
+TEST(Atomo, WireSizeMatchesKeptAtoms) {
+  auto q = compressors::make_atomo(3, 10.0);  // budget high => keep all
+  Rng rng(2);
+  Tensor grad = random_grad(11, 20 * 10).reshaped(Shape{{20, 10}});
+  auto ct = q->compress(grad, "t", rng);
+  const auto kept = ct.parts[0].numel();
+  EXPECT_EQ(ct.ctx.wire_bits,
+            static_cast<uint64_t>(kept) * (20 + 10 + 1) * 32);
+}
+
+TEST(QsparseLocal, QuantizedSparseRoundTrip) {
+  auto q = compressors::make_qsparselocal(0.1, 8);
+  Rng rng(1);
+  Tensor grad = random_grad(12, 500);
+  auto ct = q->compress(grad, "t", rng);
+  EXPECT_EQ(ct.parts[1].numel(), 50);  // k indices
+  Tensor restored = q->decompress(ct);
+  EXPECT_EQ(ops::count_nonzero(restored.f32()), 50);
+  // Selected values survive up to 8-bit quantization error.
+  const float scale = ct.ctx.scalars.at(0);
+  for (int32_t i : ct.parts[1].i32()) {
+    EXPECT_NEAR(restored.f32()[static_cast<size_t>(i)],
+                grad.f32()[static_cast<size_t>(i)], 2.0f * scale / 255.0f + 1e-5f);
+  }
+}
+
+TEST(QsparseLocal, FewerBitsSmallerWire) {
+  Rng rng(2);
+  Tensor grad = random_grad(13, 1000);
+  auto q8 = compressors::make_qsparselocal(0.1, 8);
+  auto q2 = compressors::make_qsparselocal(0.1, 2);
+  EXPECT_LT(q2->compress(grad, "t", rng).ctx.wire_bits,
+            q8->compress(grad, "t", rng).ctx.wire_bits);
+}
+
+TEST(Extensions, AllReachableViaSpecs) {
+  Rng rng(1);
+  Tensor grad = random_grad(14, 128);
+  for (const auto& name : extension_names()) {
+    auto q = make_compressor(name);
+    Tensor restored = q->decompress(q->compress(grad, "t", rng));
+    EXPECT_EQ(restored.shape(), grad.shape()) << name;
+  }
+}
+
+TEST(Extensions, UserRegistrationAndOverrideProtection) {
+  EXPECT_THROW(register_compressor("topk", nullptr), std::invalid_argument);
+  EXPECT_THROW(register_compressor("atomo", nullptr), std::invalid_argument);
+  register_compressor("testonly", [](const CompressorSpec& s) {
+    return compressors::make_topk(s.args.empty() ? 0.5 : s.args[0]);
+  });
+  auto q = make_compressor("testonly(0.25)");
+  EXPECT_EQ(q->info().name, "topk");
+  bool found = false;
+  for (const auto& n : extension_names()) found = found || n == "testonly";
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace grace::core
+
+// ---- Table-I completion methods (varbased / gradiveq / gradzip) --------
+
+namespace grace::core {
+namespace {
+
+TEST(VarBased, NoiseCoordinatesAreDelayed) {
+  auto q = compressors::make_varbased(1.0);
+  Rng rng(1);
+  // Coordinate 0: strong consistent signal; others: zero-mean noise.
+  double shipped_signal = 0.0, shipped_noise = 0.0;
+  for (int it = 0; it < 30; ++it) {
+    Tensor g(DType::F32, Shape{{50}});
+    rng.fill_normal(g.f32(), 0.0f, 1.0f);
+    g.f32()[0] = 3.0f;
+    Tensor restored = q->decompress(q->compress(g, "t", rng));
+    shipped_signal += std::fabs(restored.f32()[0]);
+    for (int64_t i = 1; i < 50; ++i) shipped_noise += std::fabs(restored.f32()[static_cast<size_t>(i)]);
+  }
+  // The signal coordinate ships nearly every round; per-noise-coordinate
+  // mass is a small fraction of it.
+  EXPECT_GT(shipped_signal, 50.0);
+  EXPECT_LT(shipped_noise / 49.0, shipped_signal / 4.0);
+}
+
+TEST(VarBased, AccumulatorPreservesMass) {
+  // Even delayed coordinates eventually ship their accumulated sum.
+  auto q = compressors::make_varbased(0.0);  // lambda 0: everything ships
+  Rng rng(2);
+  Tensor g = Tensor::full(Shape{{8}}, 0.5f);
+  Tensor total = Tensor::zeros(Shape{{8}});
+  for (int it = 0; it < 10; ++it) {
+    ops::add(total.f32(), q->decompress(q->compress(g, "t", rng)).f32());
+  }
+  for (float v : total.f32()) EXPECT_NEAR(v, 5.0f, 0.01f);
+}
+
+TEST(GradiVeq, BasisShipsOnlyOnRefresh) {
+  auto q = compressors::make_gradiveq(4, 5);
+  Rng rng(3);
+  Tensor g(DType::F32, Shape{{256}});
+  rng.fill_normal(g.f32(), 0.0f, 1.0f);
+  const auto first = q->compress(g, "t", rng).ctx.wire_bits;   // refresh
+  const auto second = q->compress(g, "t", rng).ctx.wire_bits;  // cached basis
+  EXPECT_GT(first, second);
+  // Refresh period 5: calls 3..5 stay cheap; call 6 (iters=5) refreshes.
+  for (int call = 3; call <= 5; ++call) {
+    EXPECT_EQ(q->compress(g, "t", rng).ctx.wire_bits, second) << call;
+  }
+  EXPECT_EQ(q->compress(g, "t", rng).ctx.wire_bits, first);
+}
+
+TEST(GradiVeq, ProjectionErrorBounded) {
+  auto q = compressors::make_gradiveq(8, 1);
+  Rng rng(4);
+  Tensor g(DType::F32, Shape{{512}});
+  rng.fill_normal(g.f32(), 0.0f, 1.0f);
+  Tensor restored = q->decompress(q->compress(g, "t", rng));
+  Tensor diff = restored;
+  ops::sub(diff.f32(), g.f32());
+  // Orthogonal projection: error strictly below the input norm.
+  EXPECT_LT(ops::l2_norm(diff.f32()), ops::l2_norm(g.f32()));
+}
+
+TEST(GradZip, FactorizationConvergesOnFixedMatrix) {
+  auto q = compressors::make_gradzip(2, 1e-3);
+  Rng rng(5);
+  Tensor g(DType::F32, Shape{{16, 12}});
+  rng.fill_normal(g.f32(), 0.0f, 1.0f);
+  double first = -1.0, last = -1.0;
+  for (int it = 0; it < 10; ++it) {
+    Tensor restored = q->decompress(q->compress(g, "t", rng));
+    Tensor diff = restored;
+    ops::sub(diff.f32(), g.f32());
+    last = ops::l2_norm(diff.f32());
+    if (first < 0) first = last;
+  }
+  EXPECT_LE(last, first);
+  EXPECT_LT(last, ops::l2_norm(g.f32()));  // better than sending nothing
+}
+
+TEST(GradZip, ExactOnLowRankInput) {
+  auto q = compressors::make_gradzip(2, 1e-5);
+  Rng rng(6);
+  // Build an exactly rank-2 matrix.
+  Tensor g = Tensor::zeros(Shape{{10, 8}});
+  for (int comp = 0; comp < 2; ++comp) {
+    std::vector<float> u(10), v(8);
+    rng.fill_normal(u, 0.0f, 1.0f);
+    rng.fill_normal(v, 0.0f, 1.0f);
+    for (int64_t i = 0; i < 10; ++i) {
+      for (int64_t j = 0; j < 8; ++j) {
+        g.f32()[static_cast<size_t>(i * 8 + j)] += u[static_cast<size_t>(i)] * v[static_cast<size_t>(j)];
+      }
+    }
+  }
+  double err = 1e9;
+  for (int it = 0; it < 12; ++it) {  // ALS warm start converges
+    Tensor restored = q->decompress(q->compress(g, "t", rng));
+    Tensor diff = restored;
+    ops::sub(diff.f32(), g.f32());
+    err = ops::l2_norm(diff.f32());
+  }
+  EXPECT_LT(err, 0.02f * ops::l2_norm(g.f32()));
+}
+
+TEST(GradZip, WireSizeFormula) {
+  auto q = compressors::make_gradzip(3);
+  Rng rng(7);
+  Tensor g(DType::F32, Shape{{20, 10}});
+  rng.fill_normal(g.f32(), 0.0f, 1.0f);
+  EXPECT_EQ(q->compress(g, "t", rng).ctx.wire_bits,
+            static_cast<uint64_t>((20 + 10) * 3) * 32);
+}
+
+}  // namespace
+}  // namespace grace::core

@@ -1,0 +1,181 @@
+// Synthetic dataset generators: shapes, determinism, learnable structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "data/synthetic_images.h"
+#include "data/synthetic_recsys.h"
+#include "data/synthetic_segmentation.h"
+#include "data/synthetic_text.h"
+#include "tensor/ops.h"
+
+namespace grace::data {
+namespace {
+
+TEST(Images, ShapesAndBalance) {
+  ImageConfig cfg;
+  cfg.n_train = 100;
+  cfg.n_test = 40;
+  cfg.classes = 10;
+  ImageDataset ds = make_images(cfg);
+  EXPECT_EQ(ds.train_x.shape(), Shape({100, 3, 16, 16}));
+  EXPECT_EQ(ds.train_size(), 100);
+  EXPECT_EQ(ds.test_size(), 40);
+  std::vector<int> counts(10, 0);
+  for (int32_t y : ds.train_y) {
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, 10);
+    ++counts[static_cast<size_t>(y)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 10);  // balanced
+}
+
+TEST(Images, DeterministicPerSeed) {
+  ImageConfig cfg;
+  cfg.n_train = 16;
+  cfg.n_test = 8;
+  ImageDataset a = make_images(cfg), b = make_images(cfg);
+  for (int64_t i = 0; i < a.train_x.numel(); ++i) {
+    ASSERT_EQ(a.train_x.f32()[static_cast<size_t>(i)], b.train_x.f32()[static_cast<size_t>(i)]);
+  }
+  cfg.seed = 999;
+  ImageDataset c = make_images(cfg);
+  EXPECT_NE(a.train_x.f32()[0], c.train_x.f32()[0]);
+}
+
+TEST(Images, ClassesAreSeparated) {
+  // Same-class samples must be closer (on average) than cross-class ones.
+  ImageConfig cfg;
+  cfg.n_train = 60;
+  cfg.n_test = 10;
+  cfg.noise = 0.5f;
+  ImageDataset ds = make_images(cfg);
+  const int64_t elems = 3 * 16 * 16;
+  auto dist = [&](int64_t i, int64_t j) {
+    double acc = 0.0;
+    for (int64_t k = 0; k < elems; ++k) {
+      const double d = ds.train_x.f32()[static_cast<size_t>(i * elems + k)] -
+                       ds.train_x.f32()[static_cast<size_t>(j * elems + k)];
+      acc += d * d;
+    }
+    return acc;
+  };
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (int64_t i = 0; i < 30; ++i) {
+    for (int64_t j = i + 1; j < 30; ++j) {
+      if (ds.train_y[static_cast<size_t>(i)] == ds.train_y[static_cast<size_t>(j)]) {
+        same += dist(i, j);
+        ++same_n;
+      } else {
+        cross += dist(i, j);
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_LT(same / same_n, cross / cross_n);
+}
+
+TEST(Text, TokensInVocab) {
+  TextConfig cfg;
+  cfg.train_tokens = 500;
+  cfg.test_tokens = 100;
+  cfg.vocab = 16;
+  TextDataset ds = make_text(cfg);
+  EXPECT_EQ(ds.train_tokens.size(), 500u);
+  EXPECT_EQ(ds.test_tokens.size(), 100u);
+  for (int32_t t : ds.train_tokens) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 16);
+  }
+}
+
+TEST(Text, MarkovStructureIsLearnable) {
+  // With branch=2 and low noise, the bigram distribution must be far from
+  // uniform: each state's top-2 successors carry most of the mass.
+  TextConfig cfg;
+  cfg.train_tokens = 20000;
+  cfg.vocab = 8;
+  cfg.branch = 2;
+  cfg.noise = 0.05;
+  TextDataset ds = make_text(cfg);
+  std::vector<std::vector<int>> bigrams(8, std::vector<int>(8, 0));
+  for (size_t i = 0; i + 1 < ds.train_tokens.size(); ++i) {
+    ++bigrams[static_cast<size_t>(ds.train_tokens[i])][static_cast<size_t>(ds.train_tokens[i + 1])];
+  }
+  for (int s = 0; s < 8; ++s) {
+    std::vector<int> row = bigrams[static_cast<size_t>(s)];
+    std::sort(row.begin(), row.end(), std::greater<>());
+    const int total = std::accumulate(row.begin(), row.end(), 0);
+    if (total < 100) continue;
+    EXPECT_GT(static_cast<double>(row[0] + row[1]) / total, 0.7) << "state " << s;
+  }
+}
+
+TEST(Recsys, LeaveOneOutStructure) {
+  RecsysConfig cfg;
+  cfg.n_users = 50;
+  cfg.n_items = 80;
+  cfg.positives_per_user = 6;
+  RecsysDataset ds = make_recsys(cfg);
+  EXPECT_EQ(ds.n_users, 50);
+  EXPECT_EQ(ds.train_pos.size(), 50u * 5);  // one positive held out
+  EXPECT_EQ(ds.test_item_for_user.size(), 50u);
+  for (const auto& [u, i] : ds.train_pos) {
+    ASSERT_GE(u, 0);
+    ASSERT_LT(u, 50);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, 80);
+    // The held-out item never appears in training for that user.
+    ASSERT_NE(i, ds.test_item_for_user[static_cast<size_t>(u)]);
+  }
+}
+
+TEST(Recsys, UserPositivesAreDistinct) {
+  RecsysDataset ds = make_recsys({.n_users = 20, .n_items = 50,
+                                  .positives_per_user = 8});
+  std::vector<std::set<int32_t>> per_user(20);
+  for (const auto& [u, i] : ds.train_pos) {
+    EXPECT_TRUE(per_user[static_cast<size_t>(u)].insert(i).second)
+        << "duplicate item " << i << " for user " << u;
+  }
+}
+
+TEST(Segmentation, MasksMatchBrightRegions) {
+  SegmentationConfig cfg;
+  cfg.n_train = 20;
+  cfg.n_test = 5;
+  SegmentationDataset ds = make_segmentation(cfg);
+  EXPECT_EQ(ds.train_x.shape(), Shape({20, 1, 16, 16}));
+  EXPECT_EQ(ds.train_y.shape(), Shape({20, 1, 16, 16}));
+  auto y = ds.train_y.f32();
+  auto x = ds.train_x.f32();
+  double in_mask = 0.0, out_mask = 0.0;
+  int64_t in_n = 0, out_n = 0;
+  for (int64_t i = 0; i < ds.train_x.numel(); ++i) {
+    ASSERT_TRUE(y[static_cast<size_t>(i)] == 0.0f || y[static_cast<size_t>(i)] == 1.0f);
+    if (y[static_cast<size_t>(i)] > 0.5f) {
+      in_mask += x[static_cast<size_t>(i)];
+      ++in_n;
+    } else {
+      out_mask += x[static_cast<size_t>(i)];
+      ++out_n;
+    }
+  }
+  ASSERT_GT(in_n, 0);
+  EXPECT_GT(in_mask / in_n, out_mask / out_n + 1.0);  // defects are bright
+}
+
+TEST(GatherRows, SelectsAndOrders) {
+  Tensor x = Tensor::from(std::vector<float>{0, 1, 2, 3, 4, 5}, Shape{{3, 2}});
+  const std::vector<int64_t> idx{2, 0};
+  Tensor out = gather_rows(x, idx);
+  EXPECT_EQ(out.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(out.f32()[0], 4.0f);
+  EXPECT_FLOAT_EQ(out.f32()[3], 1.0f);
+}
+
+}  // namespace
+}  // namespace grace::data

@@ -1,0 +1,120 @@
+// The GRACE helper API: quantize/dequantize, sparsify/desparsify,
+// pack/unpack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/helper_ops.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace grace::core {
+namespace {
+
+TEST(Quantize, RoundTripErrorBounded) {
+  Rng rng(1);
+  std::vector<float> x(256);
+  rng.fill_normal(x, 0.0f, 2.0f);
+  for (int bits : {2, 4, 8}) {
+    auto q = quantize(x, bits);
+    std::vector<float> restored(x.size());
+    dequantize(q, restored);
+    // Uniform quantization error <= half a step.
+    const float step = 2.0f * q.scale / static_cast<float>((1 << bits) - 1);
+    for (size_t i = 0; i < x.size(); ++i) {
+      EXPECT_LE(std::fabs(restored[i] - x[i]), step * 0.5f + 1e-6f)
+          << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(Quantize, MoreBitsNeverWorse) {
+  Rng rng(2);
+  std::vector<float> x(512);
+  rng.fill_normal(x, 0.0f, 1.0f);
+  double prev_err = 1e30;
+  for (int bits : {1, 2, 4, 8}) {
+    auto q = quantize(x, bits);
+    std::vector<float> restored(x.size());
+    dequantize(q, restored);
+    double err = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      err += std::pow(static_cast<double>(restored[i]) - x[i], 2);
+    }
+    EXPECT_LE(err, prev_err + 1e-9);
+    prev_err = err;
+  }
+}
+
+TEST(Quantize, ZeroTensor) {
+  std::vector<float> x(8, 0.0f);
+  auto q = quantize(x, 4);
+  std::vector<float> restored(x.size());
+  dequantize(q, restored);
+  for (float v : restored) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Quantize, ExplicitScaleClampsOutliers) {
+  std::vector<float> x{-10.0f, 0.0f, 10.0f};
+  auto q = quantize(x, 8, /*scale=*/1.0f);
+  std::vector<float> restored(3);
+  dequantize(q, restored);
+  EXPECT_NEAR(restored[0], -1.0f, 0.01f);
+  EXPECT_NEAR(restored[2], 1.0f, 0.01f);
+}
+
+TEST(Sparsify, RoundTrip) {
+  const std::vector<float> x{1, 2, 3, 4, 5, 6};
+  const std::vector<int32_t> idx{1, 4};
+  Tensor values = sparsify(x, idx);
+  ASSERT_EQ(values.numel(), 2);
+  EXPECT_FLOAT_EQ(values.f32()[0], 2.0f);
+  EXPECT_FLOAT_EQ(values.f32()[1], 5.0f);
+  Tensor dense = desparsify(values, idx, Shape{{2, 3}});
+  EXPECT_EQ(dense.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(dense.f32()[1], 2.0f);
+  EXPECT_FLOAT_EQ(dense.f32()[4], 5.0f);
+  EXPECT_FLOAT_EQ(dense.f32()[0], 0.0f);
+  EXPECT_EQ(ops::count_nonzero(dense.f32()), 2);
+}
+
+TEST(Sparsify, EmptySelection) {
+  const std::vector<float> x{1, 2};
+  Tensor dense = desparsify(sparsify(x, {}), {}, Shape{{2}});
+  EXPECT_EQ(ops::count_nonzero(dense.f32()), 0);
+}
+
+class PackTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackTest, RoundTripAllCodes) {
+  const int bits = GetParam();
+  const int max_code = (1 << bits) - 1;
+  std::vector<uint8_t> codes;
+  for (int n : {1, 7, 8, 9, 64, 65}) {
+    codes.clear();
+    Rng rng(static_cast<uint64_t>(n));
+    for (int i = 0; i < n; ++i) {
+      codes.push_back(static_cast<uint8_t>(rng.uniform_int(max_code + 1)));
+    }
+    Tensor packed = pack(codes, bits);
+    // Packed size is exactly ceil(n * bits / 8) bytes.
+    EXPECT_EQ(packed.size_bytes(),
+              static_cast<size_t>((n * bits + 7) / 8));
+    auto restored = unpack(packed, bits, n);
+    EXPECT_EQ(restored, codes) << "bits=" << bits << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PackTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(PackSigns, RoundTrip) {
+  const std::vector<float> x{-1.5f, 0.0f, 2.0f, -0.1f, 3.0f};
+  Tensor packed = pack_signs(x);
+  EXPECT_EQ(packed.size_bytes(), 1u);  // 5 bits fit one byte
+  std::vector<float> signs(5);
+  unpack_signs(packed, signs);
+  EXPECT_EQ(signs, (std::vector<float>{-1, 1, 1, -1, 1}));
+}
+
+}  // namespace
+}  // namespace grace::core

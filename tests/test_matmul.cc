@@ -1,0 +1,120 @@
+// GEMM, transpose, im2col/col2im.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/matmul.h"
+#include "tensor/rng.h"
+
+namespace grace {
+namespace {
+
+TEST(Matmul, Basic2x2) {
+  const std::vector<float> a{1, 2, 3, 4};  // [[1,2],[3,4]]
+  const std::vector<float> b{5, 6, 7, 8};  // [[5,6],[7,8]]
+  std::vector<float> c(4);
+  ops::gemm(false, false, 2, 2, 2, 1.0f, a, b, 0.0f, c);
+  EXPECT_EQ(c, (std::vector<float>{19, 22, 43, 50}));
+}
+
+TEST(Matmul, Rectangular) {
+  const std::vector<float> a{1, 2, 3, 4, 5, 6};  // 2x3
+  const std::vector<float> b{1, 0, 0, 1, 1, 1};  // 3x2
+  std::vector<float> c(4);
+  ops::gemm(false, false, 2, 2, 3, 1.0f, a, b, 0.0f, c);
+  EXPECT_EQ(c, (std::vector<float>{4, 5, 10, 11}));
+}
+
+TEST(Matmul, AlphaBeta) {
+  const std::vector<float> a{1, 0, 0, 1};
+  const std::vector<float> b{2, 3, 4, 5};
+  std::vector<float> c{1, 1, 1, 1};
+  ops::gemm(false, false, 2, 2, 2, 2.0f, a, b, 1.0f, c);
+  EXPECT_EQ(c, (std::vector<float>{5, 7, 9, 11}));
+}
+
+TEST(Matmul, Transpose) {
+  const std::vector<float> in{1, 2, 3, 4, 5, 6};  // 2x3
+  std::vector<float> out(6);
+  ops::transpose(in, 2, 3, out);
+  EXPECT_EQ(out, (std::vector<float>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(Matmul, TransAFlagMatchesExplicitTranspose) {
+  Rng rng(1);
+  const int64_t m = 4, k = 5, n = 3;
+  std::vector<float> at(static_cast<size_t>(k * m)), b(static_cast<size_t>(k * n));
+  rng.fill_normal(at, 0.0f, 1.0f);
+  rng.fill_normal(b, 0.0f, 1.0f);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  ops::transpose(at, k, m, a);
+  std::vector<float> c1(static_cast<size_t>(m * n)), c2(static_cast<size_t>(m * n));
+  ops::gemm(true, false, m, n, k, 1.0f, at, b, 0.0f, c1);
+  ops::gemm(false, false, m, n, k, 1.0f, a, b, 0.0f, c2);
+  for (size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-5f);
+}
+
+TEST(Matmul, TransBFlagMatchesExplicitTranspose) {
+  Rng rng(2);
+  const int64_t m = 3, k = 4, n = 5;
+  std::vector<float> a(static_cast<size_t>(m * k)), bt(static_cast<size_t>(n * k));
+  rng.fill_normal(a, 0.0f, 1.0f);
+  rng.fill_normal(bt, 0.0f, 1.0f);
+  std::vector<float> b(static_cast<size_t>(k * n));
+  ops::transpose(bt, n, k, b);
+  std::vector<float> c1(static_cast<size_t>(m * n)), c2(static_cast<size_t>(m * n));
+  ops::gemm(false, true, m, n, k, 1.0f, a, bt, 0.0f, c1);
+  ops::gemm(false, false, m, n, k, 1.0f, a, b, 0.0f, c2);
+  for (size_t i = 0; i < c1.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-5f);
+}
+
+TEST(Conv, OutDim) {
+  EXPECT_EQ(ops::conv_out_dim(16, 3, 1, 1), 16);
+  EXPECT_EQ(ops::conv_out_dim(16, 3, 1, 0), 14);
+  EXPECT_EQ(ops::conv_out_dim(16, 2, 2, 0), 8);
+}
+
+TEST(Conv, Im2ColIdentityKernel) {
+  // 1x1 kernel, stride 1, no pad: im2col is the identity layout.
+  const std::vector<float> img{1, 2, 3, 4};
+  std::vector<float> cols(4);
+  ops::im2col(img, 1, 2, 2, 1, 1, 1, 0, cols);
+  EXPECT_EQ(cols, img);
+}
+
+TEST(Conv, Im2ColPadding) {
+  // 3x3 kernel centered at (0,0) with pad 1: top-left element of the patch
+  // is out of bounds -> 0.
+  const std::vector<float> img{1, 2, 3, 4};
+  std::vector<float> cols(9 * 4);
+  ops::im2col(img, 1, 2, 2, 3, 3, 1, 1, cols);
+  // Row 0 = kernel offset (0,0): value at (i-1, j-1).
+  EXPECT_EQ(cols[0], 0.0f);   // (-1,-1)
+  EXPECT_EQ(cols[3], 1.0f);   // output (1,1) reads img(0,0)
+  // Row 4 = kernel center: exactly the image.
+  EXPECT_EQ(cols[4 * 4 + 0], 1.0f);
+  EXPECT_EQ(cols[4 * 4 + 3], 4.0f);
+}
+
+TEST(Conv, Col2ImIsAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+  // property the conv backward pass relies on.
+  Rng rng(7);
+  const int64_t c = 2, h = 5, w = 4, kh = 3, kw = 3, stride = 1, pad = 1;
+  const int64_t oh = ops::conv_out_dim(h, kh, stride, pad);
+  const int64_t ow = ops::conv_out_dim(w, kw, stride, pad);
+  const size_t img_n = static_cast<size_t>(c * h * w);
+  const size_t col_n = static_cast<size_t>(c * kh * kw * oh * ow);
+  std::vector<float> x(img_n), y(col_n), cols(col_n), img(img_n, 0.0f);
+  rng.fill_normal(x, 0.0f, 1.0f);
+  rng.fill_normal(y, 0.0f, 1.0f);
+  ops::im2col(x, c, h, w, kh, kw, stride, pad, cols);
+  ops::col2im(y, c, h, w, kh, kw, stride, pad, img);
+  double lhs = 0.0, rhs = 0.0;
+  for (size_t i = 0; i < col_n; ++i) lhs += static_cast<double>(cols[i]) * y[i];
+  for (size_t i = 0; i < img_n; ++i) rhs += static_cast<double>(x[i]) * img[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+}  // namespace
+}  // namespace grace

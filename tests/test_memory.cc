@@ -1,0 +1,78 @@
+// Error-feedback memory: Eq. 4 semantics.
+#include <gtest/gtest.h>
+
+#include "core/memory.h"
+#include "tensor/ops.h"
+
+namespace grace::core {
+namespace {
+
+TEST(NoMemory, PassThrough) {
+  NoMemory mem;
+  Tensor g = Tensor::from(std::vector<float>{1, 2, 3});
+  Tensor out = mem.compensate(g, "t");
+  EXPECT_EQ(out.f32()[1], 2.0f);
+  EXPECT_FALSE(mem.enabled());
+}
+
+TEST(ResidualMemory, FirstCompensateIsGammaScaledGradient) {
+  ResidualMemory mem(1.0f, 2.0f);
+  Tensor g = Tensor::from(std::vector<float>{1, -1});
+  Tensor out = mem.compensate(g, "t");
+  EXPECT_FLOAT_EQ(out.f32()[0], 2.0f);
+  EXPECT_FLOAT_EQ(out.f32()[1], -2.0f);
+  EXPECT_TRUE(mem.enabled());
+}
+
+TEST(ResidualMemory, UpdateStoresResidual) {
+  // psi(m, g, g~) = phi(m, g) - Q^-1(g~)
+  ResidualMemory mem(1.0f, 1.0f);
+  Tensor g = Tensor::from(std::vector<float>{4, 6});
+  Tensor phi = mem.compensate(g, "t");
+  Tensor decompressed = Tensor::from(std::vector<float>{4, 0});  // lossy
+  mem.update("t", phi, decompressed);
+  const Tensor* r = mem.residual("t");
+  ASSERT_NE(r, nullptr);
+  EXPECT_FLOAT_EQ(r->f32()[0], 0.0f);
+  EXPECT_FLOAT_EQ(r->f32()[1], 6.0f);
+
+  // Next compensate adds beta * residual.
+  Tensor g2 = Tensor::from(std::vector<float>{1, 1});
+  Tensor phi2 = mem.compensate(g2, "t");
+  EXPECT_FLOAT_EQ(phi2.f32()[0], 1.0f);
+  EXPECT_FLOAT_EQ(phi2.f32()[1], 7.0f);
+}
+
+TEST(ResidualMemory, BetaDecaysResidual) {
+  ResidualMemory mem(0.5f, 1.0f);
+  Tensor g = Tensor::from(std::vector<float>{0, 0});
+  Tensor phi = mem.compensate(g, "t");
+  mem.update("t", phi, Tensor::from(std::vector<float>{-2, -4}));
+  // residual = {2, 4}; next phi = 0.5*residual + g
+  Tensor phi2 = mem.compensate(g, "t");
+  EXPECT_FLOAT_EQ(phi2.f32()[0], 1.0f);
+  EXPECT_FLOAT_EQ(phi2.f32()[1], 2.0f);
+}
+
+TEST(ResidualMemory, PerTensorIsolation) {
+  ResidualMemory mem(1.0f, 1.0f);
+  Tensor g = Tensor::from(std::vector<float>{1});
+  mem.update("a", mem.compensate(g, "a"), Tensor::from(std::vector<float>{0}));
+  EXPECT_NE(mem.residual("a"), nullptr);
+  EXPECT_EQ(mem.residual("b"), nullptr);
+  Tensor phi_b = mem.compensate(g, "b");
+  EXPECT_FLOAT_EQ(phi_b.f32()[0], 1.0f);  // no residual mixed in
+}
+
+TEST(ResidualMemory, LosslessCompressionKeepsResidualZero) {
+  ResidualMemory mem(1.0f, 1.0f);
+  Tensor g = Tensor::from(std::vector<float>{3, -5});
+  for (int k = 0; k < 3; ++k) {
+    Tensor phi = mem.compensate(g, "t");
+    mem.update("t", phi, phi);  // perfect reconstruction
+    for (float v : mem.residual("t")->f32()) EXPECT_FLOAT_EQ(v, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace grace::core

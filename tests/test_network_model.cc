@@ -1,0 +1,83 @@
+// Alpha-beta network cost model sanity and monotonicity.
+#include <gtest/gtest.h>
+
+#include "comm/network_model.h"
+
+namespace grace::comm {
+namespace {
+
+NetworkModel base() {
+  NetworkModel net;
+  net.n_workers = 8;
+  net.bandwidth_gbps = 10.0;
+  net.transport = Transport::Tcp;
+  return net;
+}
+
+TEST(NetworkModel, SingleWorkerIsFree) {
+  NetworkModel net = base();
+  net.n_workers = 1;
+  EXPECT_EQ(net.allreduce_seconds(1 << 20), 0.0);
+  EXPECT_EQ(net.allgather_seconds(1 << 20, 0), 0.0);
+  EXPECT_EQ(net.broadcast_seconds(1 << 20), 0.0);
+}
+
+TEST(NetworkModel, MoreBytesTakeLonger) {
+  NetworkModel net = base();
+  EXPECT_LT(net.allreduce_seconds(1 << 10), net.allreduce_seconds(1 << 24));
+  EXPECT_LT(net.allgather_seconds(1 << 10, 7 << 10),
+            net.allgather_seconds(1 << 24, 7ull << 24));
+}
+
+TEST(NetworkModel, FasterLinksAreFaster) {
+  NetworkModel slow = base(), fast = base();
+  slow.bandwidth_gbps = 1.0;
+  fast.bandwidth_gbps = 25.0;
+  EXPECT_GT(slow.allreduce_seconds(10 << 20), fast.allreduce_seconds(10 << 20));
+}
+
+TEST(NetworkModel, RdmaBeatsTcpAtEqualBandwidth) {
+  NetworkModel tcp = base(), rdma = base();
+  rdma.transport = Transport::Rdma;
+  for (size_t bytes : {1024u, 1u << 20, 1u << 26}) {
+    EXPECT_GT(tcp.allreduce_seconds(bytes), rdma.allreduce_seconds(bytes));
+    EXPECT_GT(tcp.allgather_seconds(bytes, 7 * bytes),
+              rdma.allgather_seconds(bytes, 7 * bytes));
+  }
+}
+
+TEST(NetworkModel, LargeTransferApproachesWireRate) {
+  NetworkModel net = base();
+  const size_t bytes = 1ull << 30;  // 1 GiB
+  // Ring allreduce moves 2(n-1)/n * bytes per rank.
+  const double ideal = 2.0 * 7.0 / 8.0 * static_cast<double>(bytes) /
+                       net.effective_bytes_per_sec();
+  const double modeled = net.allreduce_seconds(bytes);
+  EXPECT_NEAR(modeled, ideal, ideal * 0.05);  // latency amortized away
+}
+
+TEST(NetworkModel, SmallTransferDominatedByOverhead) {
+  NetworkModel net = base();
+  const double t1 = net.allreduce_seconds(64);
+  const double t2 = net.allreduce_seconds(128);
+  // Doubling a tiny payload barely changes the time.
+  EXPECT_LT((t2 - t1) / t1, 0.01);
+}
+
+TEST(NetworkModel, AllgatherScalesWithPeerPayloads) {
+  NetworkModel net = base();
+  const double few = net.allgather_seconds(1 << 10, 7 << 10);
+  const double many = net.allgather_seconds(1 << 10, 7 << 20);
+  EXPECT_GT(many, few);
+}
+
+TEST(NetworkModel, Names) {
+  EXPECT_EQ(transport_name(Transport::Tcp), "TCP");
+  EXPECT_EQ(transport_name(Transport::Rdma), "RDMA");
+  NetworkModel net = base();
+  EXPECT_NE(net.to_string().find("10"), std::string::npos);
+  EXPECT_NE(net.to_string().find("TCP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grace::comm

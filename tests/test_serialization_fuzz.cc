@@ -1,0 +1,80 @@
+// Property/fuzz testing of CompressedTensor serialization with randomized
+// payload structures, and of every compressor's serialize-transport-
+// decompress path under randomized shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compressed.h"
+#include "core/registry.h"
+#include "tensor/rng.h"
+
+namespace grace::core {
+namespace {
+
+Tensor random_part(Rng& rng) {
+  const auto dtype = static_cast<DType>(rng.uniform_int(3));
+  const int rank = static_cast<int>(rng.uniform_int(3));
+  std::vector<int64_t> dims;
+  for (int i = 0; i < rank; ++i) dims.push_back(1 + rng.uniform_int(8));
+  Tensor t(dtype, Shape(std::move(dims)));
+  for (auto& b : t.bytes()) b = static_cast<std::byte>(rng.uniform_int(256));
+  return t;
+}
+
+TEST(SerializationFuzz, RandomStructuresRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    CompressedTensor ct;
+    const auto n_parts = rng.uniform_int(5);
+    for (int64_t p = 0; p < n_parts; ++p) ct.parts.push_back(random_part(rng));
+    std::vector<int64_t> dims;
+    for (int64_t i = 0; i < rng.uniform_int(4); ++i) dims.push_back(rng.uniform_int(6));
+    ct.ctx.shape = Shape(std::move(dims));
+    for (int64_t i = 0; i < rng.uniform_int(6); ++i) {
+      ct.ctx.scalars.push_back(static_cast<float>(rng.normal()));
+    }
+    for (int64_t i = 0; i < rng.uniform_int(6); ++i) {
+      ct.ctx.ints.push_back(static_cast<int64_t>(rng.next_u64()));
+    }
+    ct.ctx.wire_bits = rng.next_u64() % (1ull << 40);
+
+    CompressedTensor back = deserialize(serialize(ct));
+    ASSERT_EQ(back.parts.size(), ct.parts.size());
+    for (size_t p = 0; p < ct.parts.size(); ++p) {
+      ASSERT_EQ(back.parts[p].dtype(), ct.parts[p].dtype());
+      ASSERT_EQ(back.parts[p].shape(), ct.parts[p].shape());
+      const auto a = ct.parts[p].bytes();
+      const auto b = back.parts[p].bytes();
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    }
+    ASSERT_EQ(back.ctx, ct.ctx);
+  }
+}
+
+TEST(SerializationFuzz, EveryCompressorSurvivesRandomShapes) {
+  Rng shape_rng(7);
+  std::vector<std::string> roster = registered_names();
+  for (const auto& name : extension_names()) roster.push_back(name);
+  for (const auto& name : roster) {
+    auto sender = make_compressor(name);
+    auto receiver = make_compressor(name);
+    Rng rng(13);
+    for (int trial = 0; trial < 5; ++trial) {
+      std::vector<int64_t> dims;
+      const int rank = 1 + static_cast<int>(shape_rng.uniform_int(3));
+      for (int i = 0; i < rank; ++i) dims.push_back(1 + shape_rng.uniform_int(12));
+      Tensor grad(DType::F32, Shape(dims));
+      rng.fill_normal(grad.f32(), 0.0f, 1.0f);
+      auto ct = sender->compress(grad, "fuzz", rng);
+      Tensor restored = receiver->decompress(deserialize(serialize(ct)));
+      ASSERT_EQ(restored.shape(), grad.shape()) << name << " trial " << trial;
+      for (float v : restored.f32()) {
+        ASSERT_TRUE(std::isfinite(v)) << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grace::core

@@ -1,0 +1,79 @@
+// Tensor, Shape and dtype-storage behaviour.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace grace {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  EXPECT_EQ(Shape({}).numel(), 1);
+  EXPECT_EQ(Shape({}).rank(), 0);
+  EXPECT_EQ(Shape({4}).numel(), 4);
+  EXPECT_EQ(Shape({2, 3, 4}).numel(), 24);
+  EXPECT_EQ(Shape({2, 3, 4}).rank(), 3);
+}
+
+TEST(Shape, Flattened) {
+  EXPECT_EQ(Shape({2, 3, 4}).flattened(), Shape({24}));
+}
+
+TEST(Shape, AsMatrix) {
+  EXPECT_EQ(Shape({6, 4}).as_matrix(), Shape({6, 4}));
+  EXPECT_EQ(Shape({8, 3, 3, 3}).as_matrix(), Shape({8, 27}));
+  EXPECT_EQ(Shape({5}).as_matrix(), Shape({5, 1}));
+  EXPECT_EQ(Shape({}).as_matrix(), Shape({1, 1}));
+}
+
+TEST(Shape, ToString) { EXPECT_EQ(Shape({2, 3}).to_string(), "[2,3]"); }
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t = Tensor::zeros(Shape{{5}});
+  for (float v : t.f32()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FromValues) {
+  const float vals[] = {1.0f, -2.0f, 3.0f};
+  Tensor t = Tensor::from(vals);
+  ASSERT_EQ(t.numel(), 3);
+  EXPECT_EQ(t.f32()[1], -2.0f);
+  EXPECT_EQ(t.size_bytes(), 12u);
+}
+
+TEST(Tensor, DTypeSizes) {
+  EXPECT_EQ(Tensor(DType::U8, Shape{{10}}).size_bytes(), 10u);
+  EXPECT_EQ(Tensor(DType::I32, Shape{{10}}).size_bytes(), 40u);
+  EXPECT_EQ(Tensor(DType::F32, Shape{{10}}).size_bytes(), 40u);
+}
+
+TEST(Tensor, Reshaped) {
+  Tensor t = Tensor::zeros(Shape{{2, 6}});
+  Tensor r = t.reshaped(Shape{{3, 4}});
+  EXPECT_EQ(r.shape(), Shape({3, 4}));
+  EXPECT_EQ(r.numel(), t.numel());
+}
+
+TEST(Tensor, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::scalar(2.5f).item(), 2.5f);
+}
+
+TEST(Tensor, Full) {
+  Tensor t = Tensor::full(Shape{{4}}, 7.0f);
+  for (float v : t.f32()) EXPECT_EQ(v, 7.0f);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a = Tensor::full(Shape{{3}}, 1.0f);
+  Tensor b = a;
+  b.f32()[0] = 9.0f;
+  EXPECT_EQ(a.f32()[0], 1.0f);
+}
+
+TEST(Tensor, SameLayout) {
+  EXPECT_TRUE(Tensor::zeros(Shape{{3}}).same_layout(Tensor::zeros(Shape{{3}})));
+  EXPECT_FALSE(Tensor::zeros(Shape{{3}}).same_layout(Tensor::zeros(Shape{{4}})));
+  EXPECT_FALSE(Tensor::zeros(Shape{{3}}).same_layout(Tensor(DType::I32, Shape{{3}})));
+}
+
+}  // namespace
+}  // namespace grace

@@ -1,0 +1,38 @@
+// Simulated-time model arithmetic.
+#include <gtest/gtest.h>
+
+#include "sim/time_model.h"
+
+namespace grace::sim {
+namespace {
+
+TEST(TimeModel, ComputeSecondsFormula) {
+  TimeModel tm;
+  tm.device_flops = 1e9;
+  tm.backward_factor = 2.0;
+  // 1 MFLOP forward x (1 + 2) x batch 10 / 1 GFLOP/s = 30 ms.
+  EXPECT_DOUBLE_EQ(tm.compute_seconds(1e6, 10), 0.03);
+}
+
+TEST(TimeModel, FasterDeviceIsFaster) {
+  TimeModel slow, fast;
+  slow.device_flops = 1e9;
+  fast.device_flops = 1e12;
+  EXPECT_GT(slow.compute_seconds(1e6, 8), fast.compute_seconds(1e6, 8));
+}
+
+TEST(TimeModel, BackwardFactorScales) {
+  TimeModel tm;
+  tm.backward_factor = 0.0;  // forward only
+  const double fwd = tm.compute_seconds(1e6, 1);
+  tm.backward_factor = 2.0;
+  EXPECT_DOUBLE_EQ(tm.compute_seconds(1e6, 1), 3.0 * fwd);
+}
+
+TEST(TimeModel, ZeroBatchIsFree) {
+  TimeModel tm;
+  EXPECT_DOUBLE_EQ(tm.compute_seconds(1e6, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace grace::sim
