@@ -1,0 +1,327 @@
+// Kernel micro-benchmarks for the parallel compute runtime: serial seed
+// kernels vs. the blocked/parallel kernels at several sizes and thread
+// counts. Prints a table and writes BENCH_kernels.json so successive PRs
+// can track the compute substrate's perf trajectory.
+//
+// GRACE_SCALE=<f> (default 1.0) scales the problem sizes for smoke runs.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/helper_ops.h"
+#include "runtime/thread_pool.h"
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using grace::Rng;
+
+// --- Seed kernels (the pre-runtime serial implementations), kept here as
+// --- the fixed baseline every future optimization is measured against.
+
+void seed_gemm_nn(int64_t m, int64_t n, int64_t k, float alpha,
+                  const float* a, const float* b, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    const float* arow = a + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0f) continue;  // the seed's per-element zero check
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+float seed_sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) acc += v;
+  return static_cast<float>(acc);
+}
+
+void seed_axpy(std::span<float> y, float a, std::span<const float> x) {
+  for (size_t i = 0; i < y.size(); ++i) y[i] += a * x[i];
+}
+
+std::vector<int32_t> seed_topk(std::span<const float> x, int64_t k) {
+  std::vector<int32_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  auto cmp = [&](int32_t a, int32_t b) {
+    const float fa = std::fabs(x[static_cast<size_t>(a)]);
+    const float fb = std::fabs(x[static_cast<size_t>(b)]);
+    return fa != fb ? fa > fb : a < b;
+  };
+  std::nth_element(idx.begin(), idx.begin() + k, idx.end(), cmp);
+  idx.resize(static_cast<size_t>(k));
+  std::sort(idx.begin(), idx.end());
+  return idx;
+}
+
+// Like the real core::quantize, allocates its output per call.
+std::vector<uint8_t> seed_quantize(std::span<const float> x, int bits,
+                                   float scale) {
+  std::vector<uint8_t> codes(x.size());
+  const int levels = (1 << bits) - 1;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float t = (x[i] / scale + 1.0f) * 0.5f * static_cast<float>(levels);
+    codes[i] = static_cast<uint8_t>(
+        std::lround(std::clamp(t, 0.0f, static_cast<float>(levels))));
+  }
+  return codes;
+}
+
+// --- Timing: repeat until ~0.3 s elapsed, report best-of-rep seconds.
+
+template <typename Fn>
+double time_best(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  double best = 1e100;
+  double total = 0.0;
+  int reps = 0;
+  while (total < 0.3 || reps < 3) {
+    const auto t0 = clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    best = std::min(best, s);
+    total += s;
+    ++reps;
+    if (reps >= 50) break;
+  }
+  return best;
+}
+
+struct JsonWriter {
+  std::FILE* f = nullptr;
+  bool first_in_scope = true;
+  void open(const char* path) { f = std::fopen(path, "w"); }
+  void raw(const char* s) { std::fputs(s, f); }
+  void sep() {
+    if (!first_in_scope) std::fputs(",", f);
+    first_in_scope = false;
+  }
+  void begin(const char* bracket) {
+    sep();
+    std::fputs(bracket, f);
+    first_in_scope = true;
+  }
+  void end(const char* bracket) {
+    std::fputs(bracket, f);
+    first_in_scope = false;
+  }
+  void key(const char* k) {
+    sep();
+    std::fprintf(f, "\"%s\":", k);
+    first_in_scope = true;
+  }
+  void num(double v) {
+    sep();
+    std::fprintf(f, "%.6g", v);
+  }
+  void inum(int64_t v) {
+    sep();
+    std::fprintf(f, "%lld", static_cast<long long>(v));
+  }
+};
+
+int threads_cap() { return 4; }
+
+}  // namespace
+
+int main() {
+  using namespace grace;
+  double scale = 1.0;
+  if (const char* s = std::getenv("GRACE_SCALE")) scale = std::atof(s);
+  auto scaled = [&](int64_t v) {
+    return std::max<int64_t>(16, static_cast<int64_t>(v * scale));
+  };
+
+  JsonWriter out;
+  out.open("BENCH_kernels.json");
+  out.begin("{");
+  out.key("hardware_concurrency");
+  out.inum(static_cast<int64_t>(std::thread::hardware_concurrency()));
+  out.key("grace_num_threads_default");
+  out.inum(runtime::threads_from_env(std::getenv("GRACE_NUM_THREADS")));
+
+  std::printf("bench_kernels: serial seed kernels vs blocked/parallel runtime\n");
+  std::printf("hardware_concurrency=%u\n\n", std::thread::hardware_concurrency());
+
+  // ---- GEMM ------------------------------------------------------------
+  out.key("gemm");
+  out.begin("[");
+  std::printf("%-18s %8s %12s %12s %9s %9s\n", "gemm (m=n=k)", "threads",
+              "seed GF/s", "blocked GF/s", "speedup", "max|diff|");
+  for (int64_t dim : {scaled(128), scaled(256), scaled(512)}) {
+    const int64_t m = dim, n = dim, k = dim;
+    std::vector<float> a(static_cast<size_t>(m * k));
+    std::vector<float> b(static_cast<size_t>(k * n));
+    Rng rng(7);
+    rng.fill_normal(a, 0.0f, 1.0f);
+    rng.fill_normal(b, 0.0f, 1.0f);
+    std::vector<float> c_seed(static_cast<size_t>(m * n), 0.0f);
+    const double flops = 2.0 * static_cast<double>(m) * n * k;
+
+    const double seed_s = time_best([&] {
+      std::fill(c_seed.begin(), c_seed.end(), 0.0f);
+      seed_gemm_nn(m, n, k, 1.0f, a.data(), b.data(), c_seed.data());
+    });
+
+    for (int threads : {1, 2, threads_cap()}) {
+      runtime::ThreadPool::global().resize(threads);
+      std::vector<float> c(static_cast<size_t>(m * n));
+      const double blocked_s = time_best([&] {
+        ops::gemm(false, false, m, n, k, 1.0f, a, b, 0.0f, c);
+      });
+      float max_diff = 0.0f;
+      for (size_t i = 0; i < c.size(); ++i) {
+        max_diff = std::max(max_diff, std::fabs(c[i] - c_seed[i]));
+      }
+      std::printf("%-18lld %8d %12.2f %12.2f %8.2fx %9.2g\n",
+                  static_cast<long long>(dim), threads, flops / seed_s / 1e9,
+                  flops / blocked_s / 1e9, seed_s / blocked_s, max_diff);
+      out.begin("{");
+      out.key("m"); out.inum(m);
+      out.key("n"); out.inum(n);
+      out.key("k"); out.inum(k);
+      out.key("threads"); out.inum(threads);
+      out.key("seed_serial_seconds"); out.num(seed_s);
+      out.key("blocked_seconds"); out.num(blocked_s);
+      out.key("seed_gflops"); out.num(flops / seed_s / 1e9);
+      out.key("blocked_gflops"); out.num(flops / blocked_s / 1e9);
+      out.key("speedup"); out.num(seed_s / blocked_s);
+      out.key("max_abs_diff"); out.num(max_diff);
+      out.end("}");
+    }
+  }
+  out.end("]");
+  std::printf("\n");
+
+  // ---- Elementwise / reductions ---------------------------------------
+  out.key("elementwise");
+  out.begin("[");
+  const int64_t en = scaled(1 << 22);
+  std::vector<float> ex(static_cast<size_t>(en)), ey(static_cast<size_t>(en));
+  Rng erng(11);
+  erng.fill_normal(ex, 0.0f, 1.0f);
+  erng.fill_normal(ey, 0.0f, 1.0f);
+  std::printf("%-18s %8s %12s %12s %9s\n", "op (n=4M*scale)", "threads",
+              "seed GB/s", "runtime GB/s", "speedup");
+  for (int threads : {1, 2, threads_cap()}) {
+    runtime::ThreadPool::global().resize(threads);
+    struct Row {
+      const char* name;
+      double seed_s;
+      double par_s;
+      double bytes;
+    };
+    std::vector<Row> rows;
+    {
+      const double seed_s = time_best([&] { seed_axpy(ey, 0.5f, ex); });
+      const double par_s = time_best([&] { ops::axpy(ey, 0.5f, ex); });
+      rows.push_back({"axpy", seed_s, par_s, 12.0 * static_cast<double>(en)});
+    }
+    {
+      volatile float sink = 0.0f;
+      const double seed_s = time_best([&] { sink = seed_sum(ex); });
+      const double par_s = time_best([&] { sink = ops::sum(ex); });
+      (void)sink;
+      rows.push_back({"sum", seed_s, par_s, 4.0 * static_cast<double>(en)});
+    }
+    for (const auto& r : rows) {
+      std::printf("%-18s %8d %12.2f %12.2f %8.2fx\n", r.name, threads,
+                  r.bytes / r.seed_s / 1e9, r.bytes / r.par_s / 1e9,
+                  r.seed_s / r.par_s);
+      out.begin("{");
+      out.key("op");
+      out.sep();
+      std::fprintf(out.f, "\"%s\"", r.name);
+      out.first_in_scope = false;
+      out.key("n"); out.inum(en);
+      out.key("threads"); out.inum(threads);
+      out.key("seed_seconds"); out.num(r.seed_s);
+      out.key("runtime_seconds"); out.num(r.par_s);
+      out.key("speedup"); out.num(r.seed_s / r.par_s);
+      out.end("}");
+    }
+  }
+  out.end("]");
+  std::printf("\n");
+
+  // ---- Top-k selection -------------------------------------------------
+  out.key("topk");
+  out.begin("[");
+  const int64_t tn = scaled(1 << 21);
+  const int64_t tk = std::max<int64_t>(1, tn / 100);
+  std::vector<float> tx(static_cast<size_t>(tn));
+  Rng trng(13);
+  trng.fill_normal(tx, 0.0f, 1.0f);
+  std::printf("%-18s %8s %12s %12s %9s\n", "topk (n=2M,k=1%)", "threads",
+              "seed Mel/s", "runtime Mel/s", "speedup");
+  for (int threads : {1, 2, threads_cap()}) {
+    runtime::ThreadPool::global().resize(threads);
+    const double seed_s = time_best([&] { seed_topk(tx, tk); });
+    const double par_s = time_best([&] { ops::topk_abs_indices(tx, tk); });
+    std::printf("%-18s %8d %12.2f %12.2f %8.2fx\n", "", threads,
+                static_cast<double>(tn) / seed_s / 1e6,
+                static_cast<double>(tn) / par_s / 1e6, seed_s / par_s);
+    out.begin("{");
+    out.key("n"); out.inum(tn);
+    out.key("k"); out.inum(tk);
+    out.key("threads"); out.inum(threads);
+    out.key("seed_seconds"); out.num(seed_s);
+    out.key("runtime_seconds"); out.num(par_s);
+    out.key("speedup"); out.num(seed_s / par_s);
+    out.end("}");
+  }
+  out.end("]");
+  std::printf("\n");
+
+  // ---- Quantize (compressor hot loop) ---------------------------------
+  out.key("quantize");
+  out.begin("[");
+  const int64_t qn = scaled(1 << 22);
+  std::vector<float> qx(static_cast<size_t>(qn));
+  Rng qrng(17);
+  qrng.fill_normal(qx, 0.0f, 1.0f);
+  volatile uint8_t qsink = 0;
+  const float qscale = ops::linf_norm(qx);
+  std::printf("%-18s %8s %12s %12s %9s\n", "quantize8 (n=4M)", "threads",
+              "seed Mel/s", "runtime Mel/s", "speedup");
+  for (int threads : {1, 2, threads_cap()}) {
+    runtime::ThreadPool::global().resize(threads);
+    const double seed_s =
+        time_best([&] { qsink = seed_quantize(qx, 8, qscale)[0]; });
+    const double par_s = time_best(
+        [&] { qsink = core::quantize(qx, 8, qscale).codes.u8()[0]; });
+    std::printf("%-18s %8d %12.2f %12.2f %8.2fx\n", "", threads,
+                static_cast<double>(qn) / seed_s / 1e6,
+                static_cast<double>(qn) / par_s / 1e6, seed_s / par_s);
+    out.begin("{");
+    out.key("n"); out.inum(qn);
+    out.key("bits"); out.inum(8);
+    out.key("threads"); out.inum(threads);
+    out.key("seed_seconds"); out.num(seed_s);
+    out.key("runtime_seconds"); out.num(par_s);
+    out.key("speedup"); out.num(seed_s / par_s);
+    out.end("}");
+  }
+  out.end("]");
+
+  out.end("}");
+  out.raw("\n");
+  std::fclose(out.f);
+  runtime::ThreadPool::global().resize(
+      runtime::threads_from_env(std::getenv("GRACE_NUM_THREADS")));
+  std::printf("\nwrote BENCH_kernels.json\n");
+  return 0;
+}

@@ -65,11 +65,21 @@ std::vector<Tensor> allgather(Comm& comm, const Tensor& mine, int tag) {
   const int rank = comm.rank();
   std::vector<Tensor> out(static_cast<size_t>(n));
   out[static_cast<size_t>(rank)] = mine;
-  for (int peer = 0; peer < n; ++peer) {
-    if (peer != rank) comm.send(peer, mine, tag);
-  }
-  for (int peer = 0; peer < n; ++peer) {
-    if (peer != rank) out[static_cast<size_t>(peer)] = comm.recv(peer, tag);
+  if (n == 1) return out;
+  // Ring allgather, matching the ring allreduce above: n-1 steps, each rank
+  // forwards exactly one tensor per step (at step s it passes along the
+  // tensor that originated s hops upstream). Per-rank traffic is the sum of
+  // the other ranks' payloads instead of (n-1) copies of its own, and no
+  // rank ever sends the same payload twice. Tensors keep their own shapes,
+  // so ranks may contribute different sizes.
+  const int next = (rank + 1) % n;
+  const int prev = (rank + n - 1) % n;
+  int forward = rank;  // origin rank of the tensor sent this step
+  for (int step = 0; step < n - 1; ++step) {
+    comm.send(next, out[static_cast<size_t>(forward)], tag);
+    const int incoming = (rank - step - 1 + 2 * n) % n;
+    out[static_cast<size_t>(incoming)] = comm.recv(prev, tag);
+    forward = incoming;
   }
   return out;
 }

@@ -19,6 +19,13 @@ class Signum final : public Compressor {
                             Rng&) override {
     auto [it, inserted] = momentum_.try_emplace(name, Tensor::zeros_like(grad));
     Tensor& m = it->second;
+    if (!inserted && m.numel() != grad.numel()) {
+      // The tensor registered under this name changed shape (only fuzz /
+      // ad-hoc callers do this): restart the momentum rather than mixing
+      // buffers of different lengths.
+      m = Tensor::zeros_like(grad);
+      inserted = true;
+    }
     if (inserted) {
       ops::copy(m.f32(), grad.f32());
     } else {

@@ -25,21 +25,44 @@ class SketchMl final : public Compressor {
     const int64_t sample_n = std::min(d, kSketchSample);
     std::vector<float> sample(static_cast<size_t>(sample_n));
     for (auto& s : sample) s = x[static_cast<size_t>(rng.uniform_int(d))];
-    std::sort(sample.begin(), sample.end());
+    // Only ~2*buckets order statistics of the sample are read (bucket
+    // boundaries and representatives), so instead of fully sorting we run
+    // one nth_element per needed rank, in ascending rank order: after
+    // selecting rank r, everything left of r is <= sample[r] and position r
+    // is final, so the next selection operates on the suffix past r.
+    // O(sample * ranks) worst
+    // case instead of O(sample log sample), and each selected value is
+    // exactly the fully-sorted value at that rank.
+    auto rank_at = [&](double frac) {
+      return static_cast<size_t>(frac * static_cast<double>(sample_n - 1));
+    };
+    std::vector<size_t> ranks;
+    for (int b = 0; b < buckets_; ++b) {
+      const double inv = 1.0 / static_cast<double>(buckets_);
+      const size_t lo = rank_at(b * inv);
+      const size_t hi = rank_at((b + 1) * inv);
+      if (b + 1 < buckets_) ranks.push_back(hi);
+      ranks.push_back((lo + hi) / 2);
+    }
+    std::sort(ranks.begin(), ranks.end());
+    ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+    size_t selected_from = 0;
+    for (size_t r : ranks) {
+      std::nth_element(sample.begin() + static_cast<int64_t>(selected_from),
+                       sample.begin() + static_cast<int64_t>(r), sample.end());
+      selected_from = r + 1;  // position r now holds its sorted value
+    }
     // Bucket b covers sample quantile range [b/B, (b+1)/B); its
     // representative is the sample midpoint of that range.
     std::vector<float> boundaries(static_cast<size_t>(buckets_) - 1);
     std::vector<float> representatives(static_cast<size_t>(buckets_));
     for (int b = 0; b + 1 < buckets_; ++b) {
-      const auto at = static_cast<size_t>(
-          static_cast<double>(b + 1) / buckets_ * static_cast<double>(sample_n - 1));
-      boundaries[static_cast<size_t>(b)] = sample[at];
+      boundaries[static_cast<size_t>(b)] =
+          sample[rank_at(static_cast<double>(b + 1) / buckets_)];
     }
     for (int b = 0; b < buckets_; ++b) {
-      const auto lo = static_cast<size_t>(
-          static_cast<double>(b) / buckets_ * static_cast<double>(sample_n - 1));
-      const auto hi = static_cast<size_t>(
-          static_cast<double>(b + 1) / buckets_ * static_cast<double>(sample_n - 1));
+      const size_t lo = rank_at(static_cast<double>(b) / buckets_);
+      const size_t hi = rank_at(static_cast<double>(b + 1) / buckets_);
       representatives[static_cast<size_t>(b)] = sample[(lo + hi) / 2];
     }
 

@@ -4,9 +4,18 @@
 #include <cassert>
 #include <cmath>
 
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace grace::core {
+namespace {
+
+// Elementwise grain for the quantize/pack kernels. A multiple of 8 so a
+// pack() chunk always starts on a byte boundary for every bits setting,
+// making the packed-byte writes of different chunks disjoint.
+constexpr int64_t kQuantGrain = 8192;
+
+}  // namespace
 
 Quantized quantize(std::span<const float> x, int bits) {
   return quantize(x, bits, ops::linf_norm(x));
@@ -24,12 +33,22 @@ Quantized quantize(std::span<const float> x, int bits, float scale) {
     std::fill(codes.begin(), codes.end(), static_cast<uint8_t>(levels / 2));
     return q;
   }
-  for (size_t i = 0; i < x.size(); ++i) {
-    // Map [-scale, scale] -> [0, levels] with round-to-nearest.
-    const float t = (x[i] / scale + 1.0f) * 0.5f * static_cast<float>(levels);
-    const auto c = static_cast<int>(std::lround(std::clamp(t, 0.0f, static_cast<float>(levels))));
-    codes[i] = static_cast<uint8_t>(c);
-  }
+  // Restrict-qualified locals: the uint8_t (char-typed) stores would
+  // otherwise be assumed to alias the captured scalars and the input,
+  // forcing reloads every iteration.
+  const float* __restrict__ xp = x.data();
+  uint8_t* __restrict__ cp = codes.data();
+  const float flevels = static_cast<float>(levels);
+  runtime::parallel_for(
+      static_cast<int64_t>(x.size()), kQuantGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          // Map [-scale, scale] -> [0, levels] with round-to-nearest.
+          const float t = (xp[i] / scale + 1.0f) * 0.5f * flevels;
+          const auto c = static_cast<int>(
+              std::lround(std::clamp(t, 0.0f, flevels)));
+          cp[i] = static_cast<uint8_t>(c);
+        }
+      });
   return q;
 }
 
@@ -37,11 +56,18 @@ void dequantize(const Quantized& q, std::span<float> out) {
   auto codes = q.codes.u8();
   assert(out.size() == codes.size());
   const int levels = (1 << q.bits) - 1;
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = (static_cast<float>(codes[i]) / static_cast<float>(levels) * 2.0f -
-              1.0f) *
-             q.scale;
-  }
+  const uint8_t* cp = codes.data();
+  float* op = out.data();
+  const float scale = q.scale;
+  runtime::parallel_for(
+      static_cast<int64_t>(out.size()), kQuantGrain, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          op[i] = (static_cast<float>(cp[i]) / static_cast<float>(levels) *
+                       2.0f -
+                   1.0f) *
+                  scale;
+        }
+      });
 }
 
 Tensor sparsify(std::span<const float> x, std::span<const int32_t> indices) {
@@ -75,11 +101,19 @@ Tensor pack(std::span<const uint8_t> codes, int bits) {
   auto out = packed.u8();
   std::fill(out.begin(), out.end(), 0);
   const uint8_t mask = static_cast<uint8_t>((1 << bits) - 1);
-  for (size_t i = 0; i < codes.size(); ++i) {
-    const size_t byte = i / static_cast<size_t>(per_byte);
-    const int shift = static_cast<int>(i % static_cast<size_t>(per_byte)) * bits;
-    out[byte] = static_cast<uint8_t>(out[byte] | ((codes[i] & mask) << shift));
-  }
+  // kQuantGrain is a multiple of every per_byte value, so chunks begin on
+  // byte boundaries and each output byte is written by exactly one chunk.
+  const uint8_t* cp = codes.data();
+  uint8_t* op = out.data();
+  runtime::parallel_for(
+      static_cast<int64_t>(codes.size()), kQuantGrain,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          const auto byte = static_cast<size_t>(i / per_byte);
+          const int shift = static_cast<int>(i % per_byte) * bits;
+          op[byte] = static_cast<uint8_t>(op[byte] | ((cp[i] & mask) << shift));
+        }
+      });
   return packed;
 }
 
@@ -89,12 +123,16 @@ std::vector<uint8_t> unpack(const Tensor& packed, int bits, int64_t n) {
   const uint8_t mask = static_cast<uint8_t>((1 << bits) - 1);
   auto in = packed.u8();
   std::vector<uint8_t> codes(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    const size_t byte = static_cast<size_t>(i / per_byte);
-    const int shift = static_cast<int>(i % per_byte) * bits;
-    assert(byte < in.size());
-    codes[static_cast<size_t>(i)] = static_cast<uint8_t>((in[byte] >> shift) & mask);
-  }
+  const uint8_t* ip = in.data();
+  uint8_t* cp = codes.data();
+  assert(static_cast<int64_t>(in.size()) >= (n + per_byte - 1) / per_byte);
+  runtime::parallel_for(n, kQuantGrain, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      const auto byte = static_cast<size_t>(i / per_byte);
+      const int shift = static_cast<int>(i % per_byte) * bits;
+      cp[i] = static_cast<uint8_t>((ip[byte] >> shift) & mask);
+    }
+  });
   return codes;
 }
 

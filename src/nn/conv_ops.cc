@@ -3,6 +3,7 @@
 #include <cassert>
 #include <limits>
 
+#include "runtime/thread_pool.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
 
@@ -84,39 +85,46 @@ Value maxpool2x2(const Value& x) {
   std::vector<int32_t> argmaxes(static_cast<size_t>(out.numel()));
   auto xv = x->data.f32();
   auto ov = out.f32();
-  for (int64_t img = 0; img < n * c; ++img) {
-    const auto src = xv.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
-    for (int64_t i = 0; i < oh; ++i) {
-      for (int64_t j = 0; j < ow; ++j) {
-        float best = -std::numeric_limits<float>::infinity();
-        int32_t best_at = 0;
-        for (int64_t di = 0; di < 2; ++di) {
-          for (int64_t dj = 0; dj < 2; ++dj) {
-            const auto at = static_cast<int32_t>((2 * i + di) * w + 2 * j + dj);
-            if (src[static_cast<size_t>(at)] > best) {
-              best = src[static_cast<size_t>(at)];
-              best_at = at;
+  // Each (n, c) plane is independent: disjoint reads and writes.
+  runtime::parallel_for(n * c, /*grain=*/1, [&](int64_t g0, int64_t g1) {
+    for (int64_t img = g0; img < g1; ++img) {
+      const auto src = xv.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          float best = -std::numeric_limits<float>::infinity();
+          int32_t best_at = 0;
+          for (int64_t di = 0; di < 2; ++di) {
+            for (int64_t dj = 0; dj < 2; ++dj) {
+              const auto at = static_cast<int32_t>((2 * i + di) * w + 2 * j + dj);
+              if (src[static_cast<size_t>(at)] > best) {
+                best = src[static_cast<size_t>(at)];
+                best_at = at;
+              }
             }
           }
+          const auto out_at = static_cast<size_t>((img * oh + i) * ow + j);
+          ov[out_at] = best;
+          argmaxes[out_at] = best_at;
         }
-        const auto out_at = static_cast<size_t>((img * oh + i) * ow + j);
-        ov[out_at] = best;
-        argmaxes[out_at] = best_at;
       }
     }
-  }
+  });
   auto node = make_value(std::move(out));
   node->parents = {x};
   node->backward_fn = [n, c, h, w, oh, ow, argmaxes = std::move(argmaxes)](Node& nd) {
     auto g = nd.grad.f32();
     auto gx = nd.parents[0]->grad.f32();
-    for (int64_t img = 0; img < n * c; ++img) {
-      auto gdst = gx.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
-      const auto base = static_cast<size_t>(img * oh * ow);
-      for (int64_t k = 0; k < oh * ow; ++k) {
-        gdst[static_cast<size_t>(argmaxes[base + static_cast<size_t>(k)])] += g[base + static_cast<size_t>(k)];
+    // argmaxes are plane-local offsets, so each plane scatters into its own
+    // disjoint slice of gx.
+    runtime::parallel_for(n * c, /*grain=*/1, [&](int64_t g0, int64_t g1) {
+      for (int64_t img = g0; img < g1; ++img) {
+        auto gdst = gx.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
+        const auto base = static_cast<size_t>(img * oh * ow);
+        for (int64_t k = 0; k < oh * ow; ++k) {
+          gdst[static_cast<size_t>(argmaxes[base + static_cast<size_t>(k)])] += g[base + static_cast<size_t>(k)];
+        }
       }
-    }
+    });
   };
   return node;
 }
@@ -129,29 +137,33 @@ Value upsample2x(const Value& x) {
   Tensor out(DType::F32, Shape{{n, c, oh, ow}});
   auto xv = x->data.f32();
   auto ov = out.f32();
-  for (int64_t img = 0; img < n * c; ++img) {
-    const auto src = xv.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
-    auto dst = ov.subspan(static_cast<size_t>(img * oh * ow), static_cast<size_t>(oh * ow));
-    for (int64_t i = 0; i < oh; ++i) {
-      for (int64_t j = 0; j < ow; ++j) {
-        dst[static_cast<size_t>(i * ow + j)] = src[static_cast<size_t>((i / 2) * w + j / 2)];
+  runtime::parallel_for(n * c, /*grain=*/1, [&](int64_t g0, int64_t g1) {
+    for (int64_t img = g0; img < g1; ++img) {
+      const auto src = xv.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
+      auto dst = ov.subspan(static_cast<size_t>(img * oh * ow), static_cast<size_t>(oh * ow));
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          dst[static_cast<size_t>(i * ow + j)] = src[static_cast<size_t>((i / 2) * w + j / 2)];
+        }
       }
     }
-  }
+  });
   auto node = make_value(std::move(out));
   node->parents = {x};
   node->backward_fn = [n, c, h, w, oh, ow](Node& nd) {
     auto g = nd.grad.f32();
     auto gx = nd.parents[0]->grad.f32();
-    for (int64_t img = 0; img < n * c; ++img) {
-      auto gsrc = gx.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
-      const auto gdst = g.subspan(static_cast<size_t>(img * oh * ow), static_cast<size_t>(oh * ow));
-      for (int64_t i = 0; i < oh; ++i) {
-        for (int64_t j = 0; j < ow; ++j) {
-          gsrc[static_cast<size_t>((i / 2) * w + j / 2)] += gdst[static_cast<size_t>(i * ow + j)];
+    runtime::parallel_for(n * c, /*grain=*/1, [&](int64_t g0, int64_t g1) {
+      for (int64_t img = g0; img < g1; ++img) {
+        auto gsrc = gx.subspan(static_cast<size_t>(img * h * w), static_cast<size_t>(h * w));
+        const auto gdst = g.subspan(static_cast<size_t>(img * oh * ow), static_cast<size_t>(oh * ow));
+        for (int64_t i = 0; i < oh; ++i) {
+          for (int64_t j = 0; j < ow; ++j) {
+            gsrc[static_cast<size_t>((i / 2) * w + j / 2)] += gdst[static_cast<size_t>(i * ow + j)];
+          }
         }
       }
-    }
+    });
   };
   return node;
 }

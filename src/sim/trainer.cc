@@ -8,6 +8,7 @@
 
 #include "comm/collectives.h"
 #include "core/registry.h"
+#include "runtime/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace grace::sim {
@@ -148,6 +149,13 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       }
     }
   };
+
+  // Instantiate the shared compute pool before the per-rank worker threads
+  // start. All ranks then submit their kernel work to this one pool (sized
+  // by GRACE_NUM_THREADS, not by n), so running more simulated ranks never
+  // oversubscribes the machine; determinism of the kernels is unaffected
+  // because chunk boundaries ignore both rank count and pool size.
+  runtime::ThreadPool::global();
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(n));
