@@ -14,7 +14,7 @@ int main() {
   // (SignSGD is omitted: its fixed ±1 updates need a much smaller step
   // than this task's SGD lr — the tuning sensitivity §V-A discusses.)
   for (const char* spec :
-       {"none", "topk(0.25)", "topk(0.05)", "topk(0.01)", "qsgd(256)",
+       {"none", "topk(0.25)", "topk(0.05)", "topk(0.01)", "qsgd(255)",
         "qsgd(16)", "terngrad", "efsignsgd"}) {
     sim::TrainConfig cfg = sim::default_config(bench);
     cfg.grace.compressor_spec = spec;

@@ -30,19 +30,28 @@ double NetworkModel::allreduce_seconds(size_t bytes) const {
 double NetworkModel::allgather_seconds(size_t my_bytes, size_t others_bytes) const {
   if (n_workers <= 1) return 0.0;
   const double n = n_workers;
-  // Send my payload to n-1 peers and receive the others' payloads; sends
-  // and receives overlap on full-duplex links, so the wire time is the max
-  // of the two directions.
-  const double tx = static_cast<double>(my_bytes) * (n - 1.0);
-  const double rx = static_cast<double>(others_bytes);
-  const double wire = std::max(tx, rx) / effective_bytes_per_sec();
-  return wire + latency_us * 1e-6 +
-         2.0 * (n - 1.0) * per_message_overhead_sec();
+  // Ring allgather (comm/collectives.cc): n-1 sequential steps. At every
+  // step each rank forwards one origin's payload to its successor while
+  // receiving another from its predecessor (full duplex), so a step moves
+  // one payload per link — on average (my + others) / n bytes — and pays
+  // the link latency plus a send and a receive software overhead. Latency
+  // is charged per step, exactly as allreduce_seconds charges its
+  // 2(n-1)-step ring.
+  const double steps = n - 1.0;
+  const double per_step_bytes =
+      (static_cast<double>(my_bytes) + static_cast<double>(others_bytes)) / n;
+  return steps * (per_step_bytes / effective_bytes_per_sec() +
+                  latency_us * 1e-6 + 2.0 * per_message_overhead_sec());
 }
 
 double NetworkModel::broadcast_seconds(size_t bytes) const {
   if (n_workers <= 1) return 0.0;
   const double n = n_workers;
+  // Flat fan-out (comm/collectives.cc): the root serializes n-1 sends on
+  // its own link, so transmission occupancy scales with n-1, but the
+  // messages propagate independently — completion is the last send's
+  // finish plus ONE link latency. Unlike the rings above there are no
+  // sequential hops, so latency is correctly charged once.
   return static_cast<double>(bytes) * (n - 1.0) / effective_bytes_per_sec() +
          latency_us * 1e-6 + (n - 1.0) * per_message_overhead_sec();
 }

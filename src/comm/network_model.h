@@ -30,10 +30,12 @@ struct NetworkModel {
   // Ring allreduce of a `bytes`-sized dense buffer: 2(n-1) steps, each
   // moving bytes/n per rank.
   double allreduce_seconds(size_t bytes) const;
-  // Direct allgather where this rank contributes `my_bytes` and receives
-  // everyone else's payloads totalling `others_bytes`.
+  // Ring allgather over n-1 steps where this rank contributes `my_bytes`
+  // and receives everyone else's payloads totalling `others_bytes`; each
+  // step forwards one payload and pays the link latency.
   double allgather_seconds(size_t my_bytes, size_t others_bytes) const;
-  // Root sends `bytes` to n-1 peers.
+  // Root sends `bytes` to n-1 peers (flat fan-out, serialized on the
+  // root's link; latency is paid once, not per peer).
   double broadcast_seconds(size_t bytes) const;
   // Parameter-server round: the server's link absorbs every worker's
   // compressed upload, then pushes the (dense) aggregate back to n-1

@@ -14,6 +14,7 @@ int Comm::size() const { return world_->size(); }
 
 void Comm::send(int dst, Tensor payload, int tag) {
   bytes_sent_ += payload.size_bytes();
+  world_->count_send(payload.size_bytes());
   world_->mailbox(dst).put(Message{rank_, tag, std::move(payload)});
 }
 

@@ -41,8 +41,25 @@ class World {
   Comm comm(int rank) { return Comm(this, rank); }
   Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<size_t>(rank)); }
 
+  // World-wide transport counters: every send() from any rank (including
+  // collective internals) increments these. Comm handles are passed by
+  // value, so their per-handle bytes_sent() cannot see traffic from copies;
+  // these totals are the run-level ground truth the trainer reports.
+  void count_send(size_t payload_bytes) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    payload_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  uint64_t messages_sent() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  uint64_t payload_bytes_sent() const {
+    return payload_bytes_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> payload_bytes_{0};
 };
 
 }  // namespace grace::comm

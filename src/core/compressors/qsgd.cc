@@ -3,6 +3,8 @@
 // and rounds up with probability s|g[i]|/||g||_2 - l, making the operator
 // unbiased. Code words use ceil(log2(s+1)) bits plus a sign bit.
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "core/compressors/compressors.h"
 #include "tensor/ops.h"
@@ -68,6 +70,15 @@ class Qsgd final : public Compressor {
 }  // namespace
 
 std::unique_ptr<Compressor> make_qsgd(int levels) {
+  // Level codes are stored one per u8 (values 0..levels), so levels outside
+  // [1, 255] would silently wrap the stored code — e.g. levels=256 maps the
+  // top level to 0 — corrupting both the decoded magnitudes and the
+  // wire-bit accounting. Reject rather than clamp: a caller asking for
+  // >8-bit quantization should hear about it, not get a different method.
+  if (levels < 1 || levels > 255) {
+    throw std::invalid_argument("qsgd: levels must be in [1, 255], got " +
+                                std::to_string(levels));
+  }
   return std::make_unique<Qsgd>(levels);
 }
 

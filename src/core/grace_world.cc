@@ -45,29 +45,32 @@ GraceWorker::GraceWorker(const GraceConfig& cfg, comm::Comm comm,
 Tensor GraceWorker::exchange(const Tensor& grad, const std::string& name,
                              ExchangeStats* stats) {
   ExchangeStats local;
+  ExchangeStats* const sp = stats ? &local : nullptr;
   const int tag = next_tag_++;
 
   // Lines 5-6: g~ = Q(phi(m, g)); m = psi(...).
-  double t0 = now_seconds();
+  const double t0 = sp ? now_seconds() : 0.0;
   Tensor compensated = memory_->compensate(grad, name);
   CompressedTensor compressed = q_->compress(compensated, name, rng_);
   if (memory_->enabled()) {
     memory_->update(name, compensated, q_->decompress(compressed));
   }
-  local.compress_seconds = now_seconds() - t0;
-  local.wire_bytes = compressed.wire_bytes();
+  if (sp) {
+    sp->compress_seconds = now_seconds() - t0;
+    sp->wire_bytes = compressed.wire_bytes();
+  }
 
   Tensor aggregated =
       topology_ == Topology::ParameterServer
-          ? exchange_parameter_server(compressed, tag, local)
-          : exchange_collective(compressed, tag, local);
+          ? exchange_parameter_server(compressed, tag, sp)
+          : exchange_collective(compressed, tag, sp);
 
   if (stats) *stats += local;
   return aggregated;
 }
 
 Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
-                                        int tag, ExchangeStats& stats) {
+                                        int tag, ExchangeStats* stats) {
   Tensor aggregated;
   if (q_->comm_mode() == CommMode::Allreduce) {
     // Lines 8-9: summing payloads commutes with Q^-1 for Allreduce-capable
@@ -76,16 +79,16 @@ Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
     for (auto& part : summed.parts) {
       comm::allreduce_sum(comm_, part.f32(), tag);
     }
-    stats.comm_seconds += net_.allreduce_seconds(stats.wire_bytes);
-    const double t0 = now_seconds();
+    if (stats) stats->comm_seconds += net_.allreduce_seconds(stats->wire_bytes);
+    const double t0 = stats ? now_seconds() : 0.0;
     aggregated = q_->decompress(summed);
     ops::scale(aggregated.f32(), 1.0f / static_cast<float>(comm_.size()));
-    stats.decompress_seconds += now_seconds() - t0;
+    if (stats) stats->decompress_seconds += now_seconds() - t0;
   } else {
     // Lines 11-13: gather every worker's payload, decompress all, Agg.
     Tensor blob = serialize(compressed);
     std::vector<Tensor> blobs = comm::allgather(comm_, blob, tag);
-    const double t0 = now_seconds();
+    const double t0 = stats ? now_seconds() : 0.0;
     std::vector<Tensor> decompressed;
     decompressed.reserve(blobs.size());
     uint64_t others_bytes = 0;
@@ -99,33 +102,36 @@ Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
       }
     }
     aggregated = q_->aggregate(decompressed);
-    stats.decompress_seconds += now_seconds() - t0;
-    stats.comm_seconds += net_.allgather_seconds(stats.wire_bytes, others_bytes);
+    if (stats) {
+      stats->decompress_seconds += now_seconds() - t0;
+      stats->comm_seconds +=
+          net_.allgather_seconds(stats->wire_bytes, others_bytes);
+    }
   }
   return aggregated;
 }
 
 Tensor GraceWorker::exchange_parameter_server(const CompressedTensor& compressed,
-                                              int tag, ExchangeStats& stats) {
+                                              int tag, ExchangeStats* stats) {
   // Rank 0 acts as the parameter server: it collects every worker's
   // compressed payload, decompresses, aggregates (Agg), and pushes the
   // dense aggregate back. Equivalent result to the Allgather path because
   // aggregation visits ranks in the same order.
   const int n = comm_.size();
   Tensor aggregated;
-  uint64_t total_upload = stats.wire_bytes;
+  uint64_t total_upload = stats ? stats->wire_bytes : 0;
   if (comm_.rank() == 0) {
     std::vector<Tensor> decompressed;
     decompressed.reserve(static_cast<size_t>(n));
-    const double t0 = now_seconds();
+    const double t0 = stats ? now_seconds() : 0.0;
     decompressed.push_back(q_->decompress(compressed));
-    stats.decompress_seconds += now_seconds() - t0;
+    if (stats) stats->decompress_seconds += now_seconds() - t0;
     for (int peer = 1; peer < n; ++peer) {
       CompressedTensor ct = deserialize(comm_.recv(peer, tag));
       total_upload += ct.wire_bytes();
-      const double t1 = now_seconds();
+      const double t1 = stats ? now_seconds() : 0.0;
       decompressed.push_back(q_->decompress(ct));
-      stats.decompress_seconds += now_seconds() - t1;
+      if (stats) stats->decompress_seconds += now_seconds() - t1;
     }
     aggregated = q_->aggregate(decompressed);
     for (int peer = 1; peer < n; ++peer) comm_.send(peer, aggregated, tag);
@@ -134,10 +140,12 @@ Tensor GraceWorker::exchange_parameter_server(const CompressedTensor& compressed
     aggregated = comm_.recv(0, tag);
     // Workers do not know the other uploads' exact sizes; charge the
     // model's symmetric estimate (n equal uploads).
-    total_upload = stats.wire_bytes * static_cast<uint64_t>(n);
+    if (stats) total_upload = stats->wire_bytes * static_cast<uint64_t>(n);
   }
-  stats.comm_seconds += net_.parameter_server_seconds(
-      total_upload, aggregated.size_bytes());
+  if (stats) {
+    stats->comm_seconds +=
+        net_.parameter_server_seconds(total_upload, aggregated.size_bytes());
+  }
   return aggregated;
 }
 

@@ -51,7 +51,10 @@ class GraceWorker {
 
   // Compress-communicate-decompress one gradient tensor; every rank must
   // call this with the same tensor order. Returns the aggregated gradient
-  // g_k (mean across workers, or the compressor's custom Agg).
+  // g_k (mean across workers, or the compressor's custom Agg). When
+  // `stats` is null the instrumentation is skipped entirely — no clock
+  // syscalls, no cost-model evaluation — so uninstrumented callers pay
+  // nothing for the accounting layer.
   Tensor exchange(const Tensor& grad, const std::string& name,
                   ExchangeStats* stats = nullptr);
 
@@ -60,10 +63,11 @@ class GraceWorker {
   int rank() const { return comm_.rank(); }
 
  private:
+  // `stats` may be null: the exchange still runs, only accounting is skipped.
   Tensor exchange_collective(const CompressedTensor& compressed, int tag,
-                             ExchangeStats& stats);
+                             ExchangeStats* stats);
   Tensor exchange_parameter_server(const CompressedTensor& compressed, int tag,
-                                   ExchangeStats& stats);
+                                   ExchangeStats* stats);
 
   Topology topology_;
   std::unique_ptr<Compressor> q_;

@@ -16,6 +16,36 @@ struct EpochRecord {
   double cum_sim_seconds = 0.0;   // simulated time since training start
 };
 
+// Mean per-iteration seconds by phase (the trace taxonomy of sim/trace.h).
+// By construction forward + backward == compute, compress + decompress ==
+// the slowest worker's compression overhead, so total_s() equals the
+// simulated iteration time exactly.
+struct PhaseBreakdown {
+  double forward_s = 0.0;     // simulated device compute, forward pass
+  double backward_s = 0.0;    // simulated device compute, backward pass
+  double compress_s = 0.0;    // measured Q + fixed per-tensor overhead
+  double comm_s = 0.0;        // simulated collective time
+  double decompress_s = 0.0;  // measured Q^-1 over received payloads
+  double optimizer_s = 0.0;   // simulated device time of the update step
+
+  double total_s() const {
+    return forward_s + backward_s + compress_s + comm_s + decompress_s +
+           optimizer_s;
+  }
+};
+
+// Rank-0 totals for one gradient tensor across the whole run (populated
+// only when the run was traced).
+struct TensorTraceSummary {
+  std::string name;
+  int64_t numel = 0;
+  int64_t exchanges = 0;      // number of exchange() calls
+  double compress_s = 0.0;
+  double comm_s = 0.0;
+  double decompress_s = 0.0;
+  uint64_t wire_bytes = 0;    // total logical bytes transmitted
+};
+
 struct RunResult {
   std::string model;
   std::string compressor;
@@ -37,7 +67,31 @@ struct RunResult {
   double compute_s = 0.0;
   double compress_s = 0.0;
   double comm_s = 0.0;
+  double optimizer_s = 0.0;
   double total_sim_seconds = 0.0;
+
+  // Finer-grained view of the same accounting: mean per-iteration seconds
+  // split across the six trace phases (always populated; phases.total_s()
+  // is the mean simulated iteration time).
+  PhaseBreakdown phases;
+  // Per-tensor rank-0 totals; populated when TrainConfig::trace is set.
+  std::vector<TensorTraceSummary> tensor_trace;
+  // Events overwritten in the trace rings (0 when untraced or not full).
+  uint64_t trace_events_dropped = 0;
+
+  // Epoch sample accounting: iterations only cover whole global batches, so
+  // train_size % (n_workers * batch_per_worker) samples are dropped from
+  // every epoch (0 when the dataset divides evenly). When the dataset is
+  // *smaller* than one global batch, sampling wraps around instead and
+  // samples_per_epoch exceeds the dataset size.
+  int64_t samples_per_epoch = 0;
+  int64_t samples_dropped_per_epoch = 0;
+
+  // Physical transport counters: messages/payload bytes actually pushed
+  // through the in-process mailboxes by all ranks (collective internals
+  // included — distinct from the logical wire_bytes accounting).
+  uint64_t comm_messages = 0;
+  uint64_t comm_payload_bytes = 0;
 
   int64_t model_parameters = 0;
   int64_t gradient_tensors = 0;

@@ -24,10 +24,20 @@ struct TimeModel {
   // costs §V-D of the paper profiles). Charged once per tensor per
   // iteration whenever a non-identity compressor runs.
   double compression_fixed_per_tensor = 120e-6;
+  // Optimizer update cost per parameter element (a handful of fused
+  // reads/multiply-adds/writes on the simulated device). Charged once per
+  // iteration so the optimizer phase participates in the per-phase
+  // accounting; the share is tiny relative to forward+backward.
+  double optimizer_flops_per_param = 4.0;
 
   double compute_seconds(double fwd_flops_per_sample, int64_t batch) const {
     return fwd_flops_per_sample * (1.0 + backward_factor) *
            static_cast<double>(batch) / device_flops;
+  }
+
+  double optimizer_seconds(int64_t params) const {
+    return optimizer_flops_per_param * static_cast<double>(params) /
+           device_flops;
   }
 };
 

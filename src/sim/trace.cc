@@ -1,0 +1,143 @@
+#include "sim/trace.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "sim/metrics.h"
+
+namespace grace::sim {
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::Forward: return "forward";
+    case Phase::Backward: return "backward";
+    case Phase::Compress: return "compress";
+    case Phase::Comm: return "comm";
+    case Phase::Decompress: return "decompress";
+    case Phase::Optimizer: return "optimizer";
+  }
+  return "unknown";
+}
+
+Trace::Trace(int n_ranks, size_t capacity_per_rank)
+    : capacity_(capacity_per_rank == 0 ? 1 : capacity_per_rank),
+      rings_(static_cast<size_t>(n_ranks)) {
+  assert(n_ranks >= 1);
+  for (auto& ring : rings_) ring.buf.reserve(capacity_);
+}
+
+void Trace::record(int rank, const TraceEvent& ev) {
+  Ring& ring = rings_.at(static_cast<size_t>(rank));
+  if (ring.buf.size() < capacity_) {
+    ring.buf.push_back(ev);
+  } else {
+    ring.buf[ring.next] = ev;  // overwrite the oldest retained event
+  }
+  ring.next = (ring.next + 1) % capacity_;
+  ++ring.total;
+}
+
+std::vector<TraceEvent> Trace::events() const {
+  std::vector<TraceEvent> out;
+  size_t total = 0;
+  for (const auto& ring : rings_) total += ring.buf.size();
+  out.reserve(total);
+  for (const auto& ring : rings_) {
+    if (ring.buf.size() < capacity_) {
+      out.insert(out.end(), ring.buf.begin(), ring.buf.end());
+    } else {
+      // Full ring: oldest event sits at the write cursor.
+      out.insert(out.end(), ring.buf.begin() + static_cast<int64_t>(ring.next),
+                 ring.buf.end());
+      out.insert(out.end(), ring.buf.begin(),
+                 ring.buf.begin() + static_cast<int64_t>(ring.next));
+    }
+  }
+  return out;
+}
+
+uint64_t Trace::dropped() const {
+  uint64_t dropped = 0;
+  for (const auto& ring : rings_) dropped += ring.total - ring.buf.size();
+  return dropped;
+}
+
+std::string run_result_json(const RunResult& r) {
+  std::ostringstream os;
+  os.precision(9);
+  os << '{';
+  os << "\"model\":";
+  append_escaped(os, r.model);
+  os << ",\"compressor\":";
+  append_escaped(os, r.compressor);
+  os << ",\"quality_metric\":";
+  append_escaped(os, r.quality_metric);
+  os << ",\"phases\":{";
+  os << "\"forward\":" << r.phases.forward_s
+     << ",\"backward\":" << r.phases.backward_s
+     << ",\"compress\":" << r.phases.compress_s
+     << ",\"comm\":" << r.phases.comm_s
+     << ",\"decompress\":" << r.phases.decompress_s
+     << ",\"optimizer\":" << r.phases.optimizer_s << '}';
+  os << ",\"iteration_seconds\":" << r.phases.total_s();
+  os << ",\"wire_bytes_per_iter\":" << r.wire_bytes_per_iter;
+  os << ",\"throughput\":" << r.throughput;
+  os << ",\"total_sim_seconds\":" << r.total_sim_seconds;
+  os << ",\"final_train_loss\":"
+     << (r.epochs.empty() ? 0.0 : r.epochs.back().train_loss);
+  os << ",\"final_quality\":" << r.final_quality;
+  os << ",\"best_quality\":" << r.best_quality;
+  os << ",\"samples_per_epoch\":" << r.samples_per_epoch;
+  os << ",\"samples_dropped_per_epoch\":" << r.samples_dropped_per_epoch;
+  os << ",\"comm_messages\":" << r.comm_messages;
+  os << ",\"comm_payload_bytes\":" << r.comm_payload_bytes;
+  os << ",\"model_parameters\":" << r.model_parameters;
+  os << ",\"gradient_tensors\":" << r.gradient_tensors;
+  os << ",\"replicas_in_sync\":" << (r.replicas_in_sync ? "true" : "false");
+  os << ",\"trace_events_dropped\":" << r.trace_events_dropped;
+  os << ",\"tensors\":[";
+  for (size_t i = 0; i < r.tensor_trace.size(); ++i) {
+    const TensorTraceSummary& t = r.tensor_trace[i];
+    if (i) os << ',';
+    os << "{\"name\":";
+    append_escaped(os, t.name);
+    os << ",\"numel\":" << t.numel << ",\"exchanges\":" << t.exchanges
+       << ",\"compress_seconds\":" << t.compress_s
+       << ",\"comm_seconds\":" << t.comm_s
+       << ",\"decompress_seconds\":" << t.decompress_s
+       << ",\"wire_bytes\":" << t.wire_bytes << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string trace_events_json(const Trace& t) {
+  std::ostringstream os;
+  os.precision(9);
+  os << '[';
+  bool first = true;
+  for (const TraceEvent& ev : t.events()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"rank\":" << ev.rank << ",\"epoch\":" << ev.epoch
+       << ",\"iter\":" << ev.iter << ",\"phase\":\"" << phase_name(ev.phase)
+       << "\",\"tensor\":" << ev.tensor << ",\"seconds\":" << ev.seconds
+       << ",\"bytes\":" << ev.bytes << '}';
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace grace::sim

@@ -1,0 +1,82 @@
+// Run-level observability (DESIGN.md §8): ring-buffered trace events with
+// phase tags, recorded by the trainer around the forward/backward pass, each
+// GraceWorker::exchange (compress / comm / decompress, per gradient tensor),
+// and the optimizer step. Each rank owns a fixed-capacity ring, so recording
+// is lock-free and allocation-free; when a ring fills, the oldest events are
+// overwritten and counted as dropped. Tracing is opt-in via
+// TrainConfig::trace — when unset the trainer performs no recording at all
+// (a single pointer test per site), so the disabled-mode cost is zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grace::sim {
+
+struct RunResult;
+
+// The phase taxonomy: where one training iteration's time goes.
+//   Forward/Backward — simulated device compute (TimeModel)
+//   Compress         — measured kernel CPU time + fixed per-tensor overhead
+//   Comm             — simulated collective time (NetworkModel)
+//   Decompress       — measured kernel CPU time over received payloads
+//   Optimizer        — simulated device time of the parameter update
+enum class Phase : uint8_t {
+  Forward = 0,
+  Backward,
+  Compress,
+  Comm,
+  Decompress,
+  Optimizer,
+};
+inline constexpr size_t kNumPhases = 6;
+
+const char* phase_name(Phase p);
+
+struct TraceEvent {
+  int32_t epoch = 0;
+  int32_t iter = 0;    // iteration within the epoch
+  int16_t rank = 0;
+  Phase phase = Phase::Forward;
+  int32_t tensor = -1;  // gradient tensor slot; -1 = iteration scope
+  double seconds = 0.0;
+  uint64_t bytes = 0;  // logical wire bytes (Comm events only)
+};
+
+// Per-rank ring buffers of TraceEvents. Each rank writes only its own ring
+// (no synchronization); events() and dropped() must only be called after the
+// worker threads have joined.
+class Trace {
+ public:
+  explicit Trace(int n_ranks, size_t capacity_per_rank = size_t{1} << 16);
+
+  void record(int rank, const TraceEvent& ev);
+
+  // All retained events, oldest-first within each rank, ranks concatenated.
+  std::vector<TraceEvent> events() const;
+  // Events overwritten because a ring was full.
+  uint64_t dropped() const;
+
+  int n_ranks() const { return static_cast<int>(rings_.size()); }
+  size_t capacity_per_rank() const { return capacity_; }
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> buf;
+    size_t next = 0;     // write cursor
+    uint64_t total = 0;  // events ever recorded into this ring
+  };
+
+  size_t capacity_;
+  std::vector<Ring> rings_;
+};
+
+// JSON serialization (no external deps; used by bench_e2e and the smoke
+// test). run_result_json covers the per-phase breakdown, wire/byte
+// accounting, and the per-tensor trace summaries of one run.
+std::string run_result_json(const RunResult& r);
+// Raw retained events as a JSON array (bounded by the ring capacity).
+std::string trace_events_json(const Trace& t);
+
+}  // namespace grace::sim

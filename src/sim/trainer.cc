@@ -9,17 +9,19 @@
 #include "comm/collectives.h"
 #include "core/registry.h"
 #include "runtime/thread_pool.h"
+#include "sim/trace.h"
 #include "tensor/ops.h"
 
 namespace grace::sim {
 namespace {
 
 struct WorkerLog {
-  std::vector<float> losses;        // per iteration
-  std::vector<double> overhead_s;   // measured compress+decompress per iter
-  std::vector<double> comm_s;       // simulated comm per iter
-  std::vector<uint64_t> wire_bytes; // logical bytes per iter
-  std::vector<bool> sync_ok;        // per epoch
+  std::vector<float> losses;          // per iteration
+  std::vector<double> compress_s;     // measured compress + memory update
+  std::vector<double> decompress_s;   // measured Q^-1 over received payloads
+  std::vector<double> comm_s;         // simulated comm per iter
+  std::vector<uint64_t> wire_bytes;   // logical bytes per iter
+  std::vector<bool> sync_ok;          // per epoch
 };
 
 // The epoch's global sample order; identical on every worker because the
@@ -43,12 +45,27 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   RunResult result;
 
   // Peek at the model to size the run (rank 0 builds another replica below).
+  double fwd_flops_per_sample = 0.0;
+  int64_t probe_train_n = 0;
+  std::vector<std::string> tensor_names;
+  std::vector<int64_t> tensor_numels;
   {
     auto probe = factory(cfg.seed);
     result.model = probe->name();
     result.quality_metric = probe->quality_metric();
     result.model_parameters = probe->module().num_parameters();
     result.gradient_tensors = static_cast<int64_t>(probe->module().parameters().size());
+    fwd_flops_per_sample = probe->flops_per_sample();
+    probe_train_n = probe->train_size();
+    if (cfg.fuse_tensors) {
+      tensor_names.push_back("fused");
+      tensor_numels.push_back(probe->module().num_parameters());
+    } else {
+      for (auto& p : probe->module().parameters()) {
+        tensor_names.push_back(p.name);
+        tensor_numels.push_back(p.value->data.numel());
+      }
+    }
   }
   result.compressor = cfg.grace.compressor_spec;
 
@@ -56,6 +73,18 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
 
   const bool compressing =
       core::parse_spec(cfg.grace.compressor_spec).name != "none";
+
+  // Simulated per-iteration device times, identical on every worker.
+  result.compute_s =
+      cfg.time.compute_seconds(fwd_flops_per_sample, cfg.batch_per_worker);
+  const double optimizer_s = cfg.time.optimizer_seconds(result.model_parameters);
+  result.optimizer_s = optimizer_s;
+  const double backward_share =
+      cfg.time.backward_factor / (1.0 + cfg.time.backward_factor);
+  const double forward_iter_s = result.compute_s * (1.0 - backward_share);
+  const double backward_iter_s = result.compute_s * backward_share;
+
+  Trace* const trace = cfg.trace;
 
   auto worker_fn = [&](int rank) {
     auto model = factory(cfg.seed);  // same init seed on every worker
@@ -71,14 +100,32 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     const int64_t tensors_per_iter =
         cfg.fuse_tensors ? 1
                          : static_cast<int64_t>(model->module().parameters().size());
+    const double fixed_per_tensor =
+        compressing ? cfg.time.compression_fixed_per_tensor : 0.0;
     const double fixed_overhead =
-        compressing ? cfg.time.compression_fixed_per_tensor *
-                          static_cast<double>(tensors_per_iter)
-                    : 0.0;
+        fixed_per_tensor * static_cast<double>(tensors_per_iter);
     Tensor fused;  // reused flat buffer when fuse_tensors is on
     if (cfg.fuse_tensors) {
       fused = Tensor::zeros(Shape{{model->module().num_parameters()}});
     }
+    std::vector<int64_t> wrapped;  // slice buffer when the batch wraps
+
+    auto record = [&](int epoch, int64_t it, Phase phase, int32_t tensor,
+                      double seconds, uint64_t bytes) {
+      trace->record(rank, TraceEvent{epoch, static_cast<int32_t>(it),
+                                     static_cast<int16_t>(rank), phase, tensor,
+                                     seconds, bytes});
+    };
+    auto record_exchange = [&](int epoch, int64_t it, int32_t tensor,
+                               const core::ExchangeStats& s) {
+      record(epoch, it, Phase::Compress, tensor,
+             s.compress_seconds * cfg.time.compression_time_scale +
+                 fixed_per_tensor,
+             0);
+      record(epoch, it, Phase::Comm, tensor, s.comm_seconds, s.wire_bytes);
+      record(epoch, it, Phase::Decompress, tensor,
+             s.decompress_seconds * cfg.time.compression_time_scale, 0);
+    };
 
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
       if (cfg.lr_decay_every > 0 && epoch > 0 && epoch % cfg.lr_decay_every == 0) {
@@ -87,10 +134,27 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       const auto order = epoch_order(train_n, cfg.seed, epoch);
       for (int64_t it = 0; it < iters_per_epoch; ++it) {
         const int64_t base = it * global_batch + static_cast<int64_t>(rank) * cfg.batch_per_worker;
-        std::span<const int64_t> slice(order.data() + base,
-                                       static_cast<size_t>(cfg.batch_per_worker));
+        std::span<const int64_t> slice;
+        if (base + cfg.batch_per_worker <= train_n) {
+          slice = std::span<const int64_t>(
+              order.data() + base, static_cast<size_t>(cfg.batch_per_worker));
+        } else {
+          // Dataset smaller than one global batch: wrap around the epoch
+          // order so every worker still sees a full batch (the only case
+          // that reaches here, since iters_per_epoch floors otherwise).
+          wrapped.resize(static_cast<size_t>(cfg.batch_per_worker));
+          for (int64_t j = 0; j < cfg.batch_per_worker; ++j) {
+            wrapped[static_cast<size_t>(j)] =
+                order[static_cast<size_t>((base + j) % train_n)];
+          }
+          slice = wrapped;
+        }
         model->module().zero_grad();
         const float loss = model->forward_backward(slice, batch_rng);
+        if (trace) {
+          record(epoch, it, Phase::Forward, -1, forward_iter_s, 0);
+          record(epoch, it, Phase::Backward, -1, backward_iter_s, 0);
+        }
 
         core::ExchangeStats stats;
         if (cfg.fuse_tensors) {
@@ -104,6 +168,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
             at += static_cast<size_t>(p.value->grad.numel());
           }
           Tensor aggregated = grace.exchange(fused, "fused", &stats);
+          if (trace) record_exchange(epoch, it, 0, stats);
           auto agg = aggregated.f32();
           at = 0;
           size_t slot = 0;
@@ -115,15 +180,23 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
         } else {
           size_t slot = 0;
           for (auto& p : model->module().parameters()) {
-            Tensor aggregated = grace.exchange(p.value->grad, p.name, &stats);
+            core::ExchangeStats tensor_stats;
+            Tensor aggregated = grace.exchange(p.value->grad, p.name, &tensor_stats);
+            if (trace) {
+              record_exchange(epoch, it, static_cast<int32_t>(slot),
+                              tensor_stats);
+            }
+            stats += tensor_stats;
             optimizer->apply(slot++, p.value->data.f32(), aggregated.f32());
           }
         }
+        if (trace) record(epoch, it, Phase::Optimizer, -1, optimizer_s, 0);
         log.losses.push_back(loss);
-        log.overhead_s.push_back(
-            (stats.compress_seconds + stats.decompress_seconds) *
-                cfg.time.compression_time_scale +
+        log.compress_s.push_back(
+            stats.compress_seconds * cfg.time.compression_time_scale +
             fixed_overhead);
+        log.decompress_s.push_back(
+            stats.decompress_seconds * cfg.time.compression_time_scale);
         log.comm_s.push_back(stats.comm_seconds);
         log.wire_bytes.push_back(stats.wire_bytes);
       }
@@ -165,28 +238,52 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   // --- Post-processing (single-threaded) ---
   const auto total_iters = static_cast<int64_t>(logs[0].losses.size());
   const int64_t iters_per_epoch = cfg.epochs > 0 ? total_iters / cfg.epochs : 0;
-  result.compute_s = cfg.time.compute_seconds(
-      factory(cfg.seed)->flops_per_sample(), cfg.batch_per_worker);
 
-  // Per-iteration simulated time: compute + slowest worker's measured
-  // compression overhead + simulated comm (identical across workers).
+  // Epoch sample accounting (the epoch tail never enters an iteration when
+  // the dataset size is not a multiple of the global batch).
+  result.samples_per_epoch = iters_per_epoch * global_batch;
+  result.samples_dropped_per_epoch =
+      std::max<int64_t>(0, probe_train_n - result.samples_per_epoch);
+
+  // Per-iteration simulated time: compute + the slowest worker's measured
+  // compression overhead + simulated comm (identical across workers) + the
+  // simulated optimizer step.
   std::vector<double> iter_seconds(static_cast<size_t>(total_iters));
-  double overhead_sum = 0.0, comm_sum = 0.0, bytes_sum = 0.0;
+  double compress_sum = 0.0, decompress_sum = 0.0, comm_sum = 0.0,
+         bytes_sum = 0.0;
   for (int64_t it = 0; it < total_iters; ++it) {
-    double max_overhead = 0.0;
+    // The slowest worker this iteration sets the compression overhead; use
+    // that worker's compress/decompress split so the phase columns sum to
+    // exactly the charged overhead.
+    double max_overhead = 0.0, max_compress = 0.0, max_decompress = 0.0;
     for (const auto& log : logs) {
-      max_overhead = std::max(max_overhead, log.overhead_s[static_cast<size_t>(it)]);
+      const double c = log.compress_s[static_cast<size_t>(it)];
+      const double d = log.decompress_s[static_cast<size_t>(it)];
+      if (c + d >= max_overhead) {
+        max_overhead = c + d;
+        max_compress = c;
+        max_decompress = d;
+      }
     }
     const double comm = logs[0].comm_s[static_cast<size_t>(it)];
-    iter_seconds[static_cast<size_t>(it)] = result.compute_s + max_overhead + comm;
-    overhead_sum += max_overhead;
+    iter_seconds[static_cast<size_t>(it)] =
+        result.compute_s + max_overhead + comm + optimizer_s;
+    compress_sum += max_compress;
+    decompress_sum += max_decompress;
     comm_sum += comm;
     bytes_sum += static_cast<double>(logs[0].wire_bytes[static_cast<size_t>(it)]);
   }
   if (total_iters > 0) {
-    result.comm_s = comm_sum / static_cast<double>(total_iters);
-    result.compress_s = overhead_sum / static_cast<double>(total_iters);
-    result.wire_bytes_per_iter = bytes_sum / static_cast<double>(total_iters);
+    const auto iters = static_cast<double>(total_iters);
+    result.comm_s = comm_sum / iters;
+    result.compress_s = (compress_sum + decompress_sum) / iters;
+    result.wire_bytes_per_iter = bytes_sum / iters;
+    result.phases.forward_s = forward_iter_s;
+    result.phases.backward_s = backward_iter_s;
+    result.phases.compress_s = compress_sum / iters;
+    result.phases.comm_s = result.comm_s;
+    result.phases.decompress_s = decompress_sum / iters;
+    result.phases.optimizer_s = optimizer_s;
   }
 
   // Steady-state throughput over the trailing window (paper: last 100 iters).
@@ -231,6 +328,42 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   }
   for (const auto& log : logs) {
     for (bool ok : log.sync_ok) result.replicas_in_sync = result.replicas_in_sync && ok;
+  }
+
+  // Physical transport counters across all ranks and collectives.
+  result.comm_messages = world.messages_sent();
+  result.comm_payload_bytes = world.payload_bytes_sent();
+
+  // Aggregate rank 0's per-tensor trace events into run summaries.
+  if (trace) {
+    result.trace_events_dropped = trace->dropped();
+    result.tensor_trace.resize(tensor_names.size());
+    for (size_t t = 0; t < tensor_names.size(); ++t) {
+      result.tensor_trace[t].name = tensor_names[t];
+      result.tensor_trace[t].numel = tensor_numels[t];
+    }
+    for (const TraceEvent& ev : trace->events()) {
+      if (ev.rank != 0 || ev.tensor < 0 ||
+          static_cast<size_t>(ev.tensor) >= result.tensor_trace.size()) {
+        continue;
+      }
+      TensorTraceSummary& sum = result.tensor_trace[static_cast<size_t>(ev.tensor)];
+      switch (ev.phase) {
+        case Phase::Compress:
+          sum.compress_s += ev.seconds;
+          ++sum.exchanges;  // one Compress event per exchange() call
+          break;
+        case Phase::Comm:
+          sum.comm_s += ev.seconds;
+          sum.wire_bytes += ev.bytes;
+          break;
+        case Phase::Decompress:
+          sum.decompress_s += ev.seconds;
+          break;
+        default:
+          break;
+      }
+    }
   }
 
   result.error_feedback =

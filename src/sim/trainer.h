@@ -16,6 +16,8 @@
 
 namespace grace::sim {
 
+class Trace;
+
 using ReplicaFactory =
     std::function<std::unique_ptr<models::DistributedModel>(uint64_t init_seed)>;
 
@@ -42,6 +44,11 @@ struct TrainConfig {
   // Changes semantics for shape-aware compressors (PowerSGD sees a d x 1
   // matrix; Top-k selects globally across layers).
   bool fuse_tensors = false;
+  // Optional run tracer (sim/trace.h, not owned). When set, every worker
+  // records per-phase / per-tensor TraceEvents and the trainer fills
+  // RunResult::tensor_trace from rank 0's events. When null (the default)
+  // no recording happens at all — the only cost is a pointer test.
+  Trace* trace = nullptr;
 };
 
 // Runs the full training loop; every worker sees the same `factory` and

@@ -71,6 +71,46 @@ TEST(NetworkModel, AllgatherScalesWithPeerPayloads) {
   EXPECT_GT(many, few);
 }
 
+TEST(NetworkModel, AllgatherChargesLatencyPerRingStep) {
+  // Regression: the ring allgather runs n-1 sequential steps
+  // (comm/collectives.cc), so each step must pay the link latency — the
+  // model used to charge it once, making high-latency allgather
+  // impossibly fast.
+  NetworkModel lo = base(), hi = base();
+  lo.latency_us = 0.0;
+  hi.latency_us = 500.0;
+  const size_t mine = 1 << 10;
+  const size_t others = 7 << 10;
+  const double delta =
+      hi.allgather_seconds(mine, others) - lo.allgather_seconds(mine, others);
+  const double n_minus_1 = static_cast<double>(hi.n_workers - 1);
+  EXPECT_NEAR(delta, n_minus_1 * hi.latency_us * 1e-6, 1e-12);
+}
+
+TEST(NetworkModel, HighLatencyRegimePinsStepRatio) {
+  // With latency >> wire time, collectives degenerate to steps x latency:
+  // allreduce runs 2(n-1) ring steps, allgather n-1, so their ratio
+  // approaches 2 regardless of payload.
+  NetworkModel net = base();
+  net.latency_us = 50000.0;  // 50 ms — dwarfs the microsecond wire times
+  const size_t bytes = 1 << 10;
+  const double ratio = net.allreduce_seconds(bytes) /
+                       net.allgather_seconds(bytes, 7 * bytes);
+  EXPECT_NEAR(ratio, 2.0, 0.01);
+}
+
+TEST(NetworkModel, BroadcastChargesLatencyOnce) {
+  // Flat fan-out has no sequential hops: the root's serialized sends all
+  // propagate independently, so raising the latency shifts completion by
+  // exactly one latency, not n-1 of them.
+  NetworkModel lo = base(), hi = base();
+  lo.latency_us = 0.0;
+  hi.latency_us = 500.0;
+  const double delta =
+      hi.broadcast_seconds(1 << 20) - lo.broadcast_seconds(1 << 20);
+  EXPECT_NEAR(delta, hi.latency_us * 1e-6, 1e-12);
+}
+
 TEST(NetworkModel, Names) {
   EXPECT_EQ(transport_name(Transport::Tcp), "TCP");
   EXPECT_EQ(transport_name(Transport::Rdma), "RDMA");

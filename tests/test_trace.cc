@@ -1,0 +1,320 @@
+// The run-level trace facility: ring-buffer semantics, phase accounting
+// invariants, JSON serialization, and the e2e smoke run that stands in for
+// bench_e2e in the default test suite (the bench target itself is not built
+// by default).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "data/synthetic_images.h"
+#include "models/cnn_small.h"
+#include "sim/tasks.h"
+#include "sim/trace.h"
+
+namespace grace::sim {
+namespace {
+
+// --- Minimal recursive-descent JSON validator -------------------------------
+// Enough JSON to check that the emitted documents parse and to walk their
+// keys; deliberately strict (no trailing commas, no comments).
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return at_ == s_.size();
+  }
+
+  const std::set<std::string>& keys() const { return keys_; }
+
+ private:
+  bool value() {
+    if (at_ >= s_.size()) return false;
+    const char c = s_[at_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_lit(nullptr);
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    ++at_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string_lit(&key)) return false;
+      keys_.insert(key);
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+
+  bool array() {
+    ++at_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+
+  bool string_lit(std::string* out) {
+    if (!expect('"')) return false;
+    while (at_ < s_.size() && s_[at_] != '"') {
+      if (s_[at_] == '\\') {
+        ++at_;
+        if (at_ >= s_.size()) return false;
+      }
+      if (out) out->push_back(s_[at_]);
+      ++at_;
+    }
+    return expect('"');
+  }
+
+  bool number() {
+    const size_t start = at_;
+    if (at_ < s_.size() && (s_[at_] == '-' || s_[at_] == '+')) ++at_;
+    bool digits = false;
+    auto run = [&] {
+      while (at_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[at_]))) {
+        ++at_;
+        digits = true;
+      }
+    };
+    run();
+    if (at_ < s_.size() && s_[at_] == '.') { ++at_; run(); }
+    if (digits && at_ < s_.size() && (s_[at_] == 'e' || s_[at_] == 'E')) {
+      ++at_;
+      if (at_ < s_.size() && (s_[at_] == '-' || s_[at_] == '+')) ++at_;
+      const bool before = digits;
+      digits = false;
+      run();
+      digits = digits && before;
+    }
+    return digits && at_ > start;
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      if (at_ >= s_.size() || s_[at_] != *p) return false;
+      ++at_;
+    }
+    return true;
+  }
+
+  void skip_ws() {
+    while (at_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[at_]))) {
+      ++at_;
+    }
+  }
+  bool peek(char c) {
+    if (at_ < s_.size() && s_[at_] == c) { ++at_; return true; }
+    return false;
+  }
+  bool expect(char c) {
+    if (at_ < s_.size() && s_[at_] == c) { ++at_; return true; }
+    return false;
+  }
+
+  const std::string& s_;
+  size_t at_ = 0;
+  std::set<std::string> keys_;
+};
+
+// ----------------------------------------------------------------------------
+
+TEST(Trace, PhaseNamesCoverTaxonomy) {
+  EXPECT_STREQ(phase_name(Phase::Forward), "forward");
+  EXPECT_STREQ(phase_name(Phase::Backward), "backward");
+  EXPECT_STREQ(phase_name(Phase::Compress), "compress");
+  EXPECT_STREQ(phase_name(Phase::Comm), "comm");
+  EXPECT_STREQ(phase_name(Phase::Decompress), "decompress");
+  EXPECT_STREQ(phase_name(Phase::Optimizer), "optimizer");
+}
+
+TEST(Trace, RecordsPerRankOldestFirst) {
+  Trace trace(2, /*capacity_per_rank=*/8);
+  for (int i = 0; i < 3; ++i) {
+    trace.record(0, TraceEvent{0, i, 0, Phase::Compress, i, 0.5, 0});
+  }
+  trace.record(1, TraceEvent{0, 9, 1, Phase::Comm, -1, 0.25, 64});
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].iter, 0);
+  EXPECT_EQ(events[1].iter, 1);
+  EXPECT_EQ(events[2].iter, 2);
+  EXPECT_EQ(events[3].rank, 1);
+  EXPECT_EQ(events[3].bytes, 64u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(Trace, RingOverwritesOldestAndCountsDropped) {
+  Trace trace(1, /*capacity_per_rank=*/4);
+  for (int i = 0; i < 10; ++i) {
+    trace.record(0, TraceEvent{0, i, 0, Phase::Forward, -1, 0.0, 0});
+  }
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);  // capacity retained
+  // The four newest survive, oldest-first.
+  EXPECT_EQ(events[0].iter, 6);
+  EXPECT_EQ(events[3].iter, 9);
+  EXPECT_EQ(trace.dropped(), 6u);
+}
+
+TEST(Trace, EventsJsonParses) {
+  Trace trace(1, 4);
+  trace.record(0, TraceEvent{1, 2, 0, Phase::Decompress, 3, 1e-4, 0});
+  const std::string json = trace_events_json(trace);
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.parse()) << json;
+  EXPECT_NE(json.find("\"decompress\""), std::string::npos);
+}
+
+// --- Traced end-to-end runs -------------------------------------------------
+
+struct TinyRun {
+  TrainConfig cfg;
+  ReplicaFactory factory;
+};
+
+TinyRun tiny_run(int workers = 2) {
+  data::ImageConfig dc;
+  dc.n_train = 64;
+  dc.n_test = 20;
+  auto data = std::make_shared<const data::ImageDataset>(data::make_images(dc));
+  TinyRun r;
+  r.factory = [data](uint64_t seed) {
+    return std::make_unique<models::CnnSmall>(data, seed);
+  };
+  r.cfg.n_workers = workers;
+  r.cfg.net.n_workers = workers;
+  r.cfg.batch_per_worker = 8;
+  r.cfg.epochs = 1;
+  r.cfg.grace.compressor_spec = "topk(0.1)";
+  return r;
+}
+
+TEST(TraceSmoke, TracedRunEmitsValidJsonWithAllPhases) {
+  // The ctest stand-in for bench_e2e: a 2-worker, 1-epoch traced run whose
+  // serialized result must parse and carry every phase key of the taxonomy.
+  TinyRun r = tiny_run();
+  Trace trace(r.cfg.n_workers);
+  r.cfg.trace = &trace;
+  RunResult run = train(r.factory, r.cfg);
+
+  const std::string json = run_result_json(run);
+  JsonChecker checker(json);
+  ASSERT_TRUE(checker.parse()) << json;
+  for (const char* key :
+       {"forward", "backward", "compress", "comm", "decompress", "optimizer",
+        "phases", "iteration_seconds", "wire_bytes_per_iter", "tensors",
+        "samples_dropped_per_epoch"}) {
+    EXPECT_TRUE(checker.keys().count(key)) << "missing key: " << key;
+  }
+  EXPECT_EQ(run.trace_events_dropped, 0u);
+}
+
+TEST(TraceSmoke, PhasesSumToIterationTime) {
+  TinyRun r = tiny_run();
+  Trace trace(r.cfg.n_workers);
+  r.cfg.trace = &trace;
+  RunResult run = train(r.factory, r.cfg);
+
+  // Acceptance bound from the issue is 5%; the accounting is exact by
+  // construction, so hold it to float noise.
+  const double total = run.phases.total_s();
+  ASSERT_GT(total, 0.0);
+  const double iters =
+      static_cast<double>(run.epochs.size()) *
+      static_cast<double>(run.samples_per_epoch) /
+      static_cast<double>(r.cfg.n_workers * r.cfg.batch_per_worker);
+  const double mean_iter = run.total_sim_seconds / iters;
+  EXPECT_NEAR(total, mean_iter, mean_iter * 0.05);
+  EXPECT_NEAR(total, mean_iter, mean_iter * 1e-9);
+  // The coarse legacy columns agree with the fine-grained view.
+  EXPECT_NEAR(run.phases.forward_s + run.phases.backward_s, run.compute_s,
+              run.compute_s * 1e-9);
+  EXPECT_NEAR(run.phases.compress_s + run.phases.decompress_s, run.compress_s,
+              run.compress_s * 1e-9 + 1e-15);
+  EXPECT_DOUBLE_EQ(run.phases.comm_s, run.comm_s);
+  EXPECT_DOUBLE_EQ(run.phases.optimizer_s, run.optimizer_s);
+}
+
+TEST(TraceSmoke, TracingDoesNotPerturbTraining) {
+  TinyRun a = tiny_run();
+  RunResult untraced = train(a.factory, a.cfg);
+
+  TinyRun b = tiny_run();
+  Trace trace(b.cfg.n_workers);
+  b.cfg.trace = &trace;
+  RunResult traced = train(b.factory, b.cfg);
+
+  ASSERT_EQ(untraced.epochs.size(), traced.epochs.size());
+  for (size_t e = 0; e < untraced.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(untraced.epochs[e].train_loss, traced.epochs[e].train_loss);
+    EXPECT_DOUBLE_EQ(untraced.epochs[e].quality, traced.epochs[e].quality);
+  }
+  EXPECT_DOUBLE_EQ(untraced.wire_bytes_per_iter, traced.wire_bytes_per_iter);
+}
+
+TEST(TraceSmoke, TensorTraceCoversEveryGradientTensor) {
+  TinyRun r = tiny_run();
+  Trace trace(r.cfg.n_workers);
+  r.cfg.trace = &trace;
+  RunResult run = train(r.factory, r.cfg);
+
+  ASSERT_EQ(static_cast<int64_t>(run.tensor_trace.size()),
+            run.gradient_tensors);
+  const int64_t iters = static_cast<int64_t>(run.epochs.size()) *
+                        run.samples_per_epoch /
+                        (r.cfg.n_workers * r.cfg.batch_per_worker);
+  int64_t numel_total = 0;
+  for (const auto& t : run.tensor_trace) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_GT(t.numel, 0);
+    EXPECT_EQ(t.exchanges, iters) << t.name;  // one exchange per iteration
+    EXPECT_GT(t.wire_bytes, 0u) << t.name;
+    numel_total += t.numel;
+  }
+  EXPECT_EQ(numel_total, run.model_parameters);
+
+  // Untraced runs leave the per-tensor view empty.
+  TinyRun u = tiny_run();
+  EXPECT_TRUE(train(u.factory, u.cfg).tensor_trace.empty());
+}
+
+TEST(TraceSmoke, FusedRunTracesOneBucket) {
+  TinyRun r = tiny_run();
+  r.cfg.fuse_tensors = true;
+  Trace trace(r.cfg.n_workers);
+  r.cfg.trace = &trace;
+  RunResult run = train(r.factory, r.cfg);
+  ASSERT_EQ(run.tensor_trace.size(), 1u);
+  EXPECT_EQ(run.tensor_trace[0].name, "fused");
+  EXPECT_EQ(run.tensor_trace[0].numel, run.model_parameters);
+}
+
+}  // namespace
+}  // namespace grace::sim

@@ -155,6 +155,57 @@ TEST(Trainer, EndToEndLearningUnderCompression) {
   }
 }
 
+TEST(Trainer, EpochTailAccountedWhenDatasetDoesNotDivide) {
+  // Regression: iterations only cover whole global batches, so with
+  // n_train=200 and a global batch of 16 each epoch runs 12 iterations
+  // (192 samples) and silently skips 8. The trainer must now surface that
+  // in the result instead of dropping the tail without a trace.
+  data::ImageConfig dc;
+  dc.n_train = 200;
+  dc.n_test = 20;
+  auto data = std::make_shared<const data::ImageDataset>(data::make_images(dc));
+  ReplicaFactory factory = [data](uint64_t seed) {
+    return std::make_unique<models::CnnSmall>(data, seed);
+  };
+  TrainConfig cfg;
+  cfg.n_workers = 2;
+  cfg.net.n_workers = 2;
+  cfg.batch_per_worker = 8;
+  cfg.epochs = 1;
+  RunResult run = train(factory, cfg);
+  EXPECT_EQ(run.samples_per_epoch, 192);
+  EXPECT_EQ(run.samples_dropped_per_epoch, 8);
+
+  // An evenly dividing dataset drops nothing.
+  cfg.batch_per_worker = 10;  // global batch 20 divides 200
+  RunResult even = train(factory, cfg);
+  EXPECT_EQ(even.samples_per_epoch, 200);
+  EXPECT_EQ(even.samples_dropped_per_epoch, 0);
+}
+
+TEST(Trainer, DatasetSmallerThanGlobalBatchWrapsAround) {
+  // Regression: with n_train < global batch the batch slice used to read
+  // past the epoch order. The trainer must wrap instead, still running one
+  // full-iteration epoch with every replica in sync.
+  data::ImageConfig dc;
+  dc.n_train = 10;  // < 2 workers x batch 8 = 16
+  dc.n_test = 20;
+  auto data = std::make_shared<const data::ImageDataset>(data::make_images(dc));
+  ReplicaFactory factory = [data](uint64_t seed) {
+    return std::make_unique<models::CnnSmall>(data, seed);
+  };
+  TrainConfig cfg;
+  cfg.n_workers = 2;
+  cfg.net.n_workers = 2;
+  cfg.batch_per_worker = 8;
+  cfg.epochs = 2;
+  RunResult run = train(factory, cfg);
+  ASSERT_EQ(run.epochs.size(), 2u);
+  EXPECT_TRUE(run.replicas_in_sync);
+  EXPECT_EQ(run.samples_per_epoch, 16);  // one wrapped global batch
+  EXPECT_EQ(run.samples_dropped_per_epoch, 0);
+}
+
 TEST(Tasks, StandardSuiteShape) {
   auto suite = standard_suite(0.1);
   ASSERT_EQ(suite.size(), 5u);

@@ -1,0 +1,160 @@
+// Wire-size accounting: every compressor's reported wire_bits must match
+// the closed-form size of its wire format on a fixed tensor. The simulated
+// communication times are only as honest as these numbers — a wrong
+// wire_bits silently skews every speedup figure downstream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/compressors/compressors.h"
+#include "core/registry.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace grace::core {
+namespace {
+
+constexpr int64_t kD = 256;  // 16 x 16
+
+Tensor fixture() {
+  Tensor t(DType::F32, Shape{{16, 16}});
+  Rng rng(1234);
+  rng.fill_normal(t.f32(), 0.0f, 0.02f);  // gradient-like magnitudes
+  return t;
+}
+
+uint64_t wire_bits_of(Compressor& q, const Tensor& grad) {
+  Rng rng(99);
+  return q.compress(grad, "t", rng).ctx.wire_bits;
+}
+
+TEST(WireAccounting, DenseAndQuantizedFormats) {
+  const Tensor g = fixture();
+  // none: raw f32.
+  EXPECT_EQ(wire_bits_of(*compressors::make_none(), g), 32u * kD);
+  // eightbit: one u8 code per element + one f32 scale.
+  EXPECT_EQ(wire_bits_of(*compressors::make_eightbit(), g), 8u * kD + 32);
+  // onebit: one sign bit per element + the two cluster means.
+  EXPECT_EQ(wire_bits_of(*compressors::make_onebit(), g), kD + 64u);
+  // signsgd / signum: a bare sign bit per element.
+  EXPECT_EQ(wire_bits_of(*compressors::make_signsgd(), g), static_cast<uint64_t>(kD));
+  EXPECT_EQ(wire_bits_of(*compressors::make_signum(), g), static_cast<uint64_t>(kD));
+  // efsignsgd: sign bits + the f32 mean magnitude.
+  EXPECT_EQ(wire_bits_of(*compressors::make_efsignsgd(), g), kD + 32u);
+  // natural: exponent (8 bits) + sign per element, no shared scalars.
+  EXPECT_EQ(wire_bits_of(*compressors::make_natural(), g), 9u * kD);
+  // terngrad: 2-bit ternary code per element + the f32 scale.
+  EXPECT_EQ(wire_bits_of(*compressors::make_terngrad(), g), 2u * kD + 32);
+}
+
+TEST(WireAccounting, QsgdCodeBitsForNonPowerOfTwoLevels) {
+  const Tensor g = fixture();
+  // ceil(log2(s+1)) code bits + 1 sign bit per element + the f32 norm.
+  // s=64 needs 7 bits (65 codebook points), not log2(64)=6 — the +1 for
+  // the zero level is exactly what a naive power-of-two formula misses.
+  EXPECT_EQ(wire_bits_of(*compressors::make_qsgd(64), g), (7u + 1) * kD + 32);
+  EXPECT_EQ(wire_bits_of(*compressors::make_qsgd(5), g), (3u + 1) * kD + 32);
+  EXPECT_EQ(wire_bits_of(*compressors::make_qsgd(255), g), (8u + 1) * kD + 32);
+  EXPECT_EQ(wire_bits_of(*compressors::make_qsgd(1), g), (1u + 1) * kD + 32);
+}
+
+TEST(WireAccounting, QsgdRejectsLevelsOutsideU8Range) {
+  // Regression: levels > 255 used to wrap the u8 code storage (256 -> 0),
+  // silently corrupting decoded magnitudes; now it must throw.
+  EXPECT_THROW(compressors::make_qsgd(0), std::invalid_argument);
+  EXPECT_THROW(compressors::make_qsgd(256), std::invalid_argument);
+  EXPECT_THROW(compressors::make_qsgd(-3), std::invalid_argument);
+  EXPECT_THROW(make_compressor("qsgd(1000)"), std::invalid_argument);
+  EXPECT_NO_THROW(compressors::make_qsgd(255));
+  EXPECT_NO_THROW(make_compressor("qsgd(255)"));
+}
+
+TEST(WireAccounting, SparsificationFormats) {
+  const Tensor g = fixture();
+  // top-k / random-k at ratio 0.05: k = floor(0.05 * 256) = 12 elements,
+  // each an (f32 value, i32 index) pair.
+  const uint64_t k = 12;
+  EXPECT_EQ(wire_bits_of(*compressors::make_topk(0.05), g), k * 64);
+  EXPECT_EQ(wire_bits_of(*compressors::make_randomk(0.05), g), k * 64);
+  // threshold-v: every element with |x| strictly above v.
+  const float v = 0.01f;
+  const uint64_t nnz = ops::threshold_indices(g.f32(), v).size();
+  ASSERT_GT(nnz, 0u);
+  ASSERT_LT(nnz, static_cast<uint64_t>(kD));
+  EXPECT_EQ(wire_bits_of(*compressors::make_thresholdv(v), g), nnz * 64);
+}
+
+TEST(WireAccounting, DgcMatchesTransmittedIndexCount) {
+  // DGC's selection count is data- and warm-up-dependent; the invariant is
+  // that wire_bits covers exactly the transmitted (value, index) pairs.
+  const Tensor g = fixture();
+  auto q = compressors::make_dgc(0.05);
+  Rng rng(99);
+  CompressedTensor ct = q->compress(g, "t", rng);
+  const auto nnz = static_cast<uint64_t>(ct.parts.at(1).numel());
+  ASSERT_GT(nnz, 0u);
+  EXPECT_EQ(ct.ctx.wire_bits, nnz * 64);
+}
+
+TEST(WireAccounting, AdaptiveCountsBothSignPartitions) {
+  const Tensor g = fixture();
+  // Top alpha of the positives and of the negatives, one packed 32-bit
+  // word each (1 quantized bit + 31-bit index), plus the two f32 means.
+  auto x = g.f32();
+  uint64_t n_pos = 0;
+  for (float v : x) n_pos += v >= 0.0f;
+  const uint64_t n_neg = static_cast<uint64_t>(kD) - n_pos;
+  const double alpha = 0.05;
+  const auto kpos = std::max<uint64_t>(
+      1, static_cast<uint64_t>(alpha * static_cast<double>(n_pos)));
+  const auto kneg = std::max<uint64_t>(
+      1, static_cast<uint64_t>(alpha * static_cast<double>(n_neg)));
+  EXPECT_EQ(wire_bits_of(*compressors::make_adaptive(alpha), g),
+            (kpos + kneg) * 32 + 64);
+}
+
+TEST(WireAccounting, InceptionnPerElementPrecisionLevels) {
+  const Tensor g = fixture();
+  // 2-bit tag per element; dropped elements send nothing more, small ones
+  // an 8-bit band code, mid-range a 16-bit half, the top band full 32-bit;
+  // plus the f32 max that anchors the bands.
+  auto x = g.f32();
+  const float mx = ops::linf_norm(x);
+  uint64_t bits = 2u * kD + 32;
+  for (float v : x) {
+    const float mag = std::fabs(v);
+    if (mx == 0.0f || mag < 1e-3f * mx) continue;
+    if (mag < 0.05f * mx) bits += 8;
+    else if (mag < 0.5f * mx) bits += 16;
+    else bits += 32;
+  }
+  EXPECT_EQ(wire_bits_of(*compressors::make_inceptionn(), g), bits);
+}
+
+TEST(WireAccounting, SketchAndLowRankFormats) {
+  const Tensor g = fixture();
+  // sketchml(64): ceil(log2 64) = 6-bit bucket code per element + 64 f32
+  // bucket representatives.
+  EXPECT_EQ(wire_bits_of(*compressors::make_sketchml(64), g),
+            6u * kD + 64 * 32);
+  // powersgd(4) on 16x16: the P (16x4) and Q (16x4) f32 factors.
+  EXPECT_EQ(wire_bits_of(*compressors::make_powersgd(4), g),
+            (16u + 16) * 4 * 32);
+}
+
+TEST(WireAccounting, WireBytesRoundsBitsUp) {
+  const Tensor g = fixture();
+  // signsgd: 256 bits -> exactly 32 bytes; a d=10 tensor needs ceil(10/8).
+  auto q = compressors::make_signsgd();
+  Rng rng(7);
+  EXPECT_EQ(q->compress(g, "t", rng).wire_bytes(), 32u);
+  Tensor odd(DType::F32, Shape{{10}});
+  Rng rng2(8);
+  rng2.fill_normal(odd.f32(), 0.0f, 1.0f);
+  EXPECT_EQ(q->compress(odd, "t", rng2).wire_bytes(), 2u);  // ceil(10/8)
+}
+
+}  // namespace
+}  // namespace grace::core
