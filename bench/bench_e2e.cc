@@ -6,8 +6,11 @@
 // compression only pays when the comm phase it shrinks dominates the
 // compute + codec phases it adds.
 //
-// Prints a table and writes BENCH_e2e.json (schema documented in README.md).
-// Not built by default: cmake --build build --target bench_e2e.
+// Prints a table and writes BENCH_e2e.json (schema documented in README.md)
+// plus BENCH_e2e.trace.json, a Chrome trace-event export of the last cell's
+// per-rank timeline (load it in chrome://tracing or ui.perfetto.dev; see
+// docs/OBSERVABILITY.md). Not built by default:
+// cmake --build build --target bench_e2e.
 //
 // GRACE_SCALE=<f> (default 1.0) scales the task size for smoke runs.
 #include <cstdio>
@@ -18,6 +21,7 @@
 #include "bench_common.h"
 #include "sim/tasks.h"
 #include "sim/trace.h"
+#include "sim/trace_chrome.h"
 
 namespace {
 
@@ -66,6 +70,7 @@ int main() {
   std::fprintf(out, "\"runs\":[");
 
   bool first = true;
+  std::string chrome_trace;  // last cell's per-rank timeline, exported below
   for (const NetConfig& net : networks) {
     for (const std::string& spec : compressors) {
       sim::TrainConfig cfg = sim::default_config(bench);
@@ -78,6 +83,7 @@ int main() {
       sim::Trace trace(cfg.n_workers);
       cfg.trace = &trace;
       sim::RunResult run = sim::train(bench.factory, cfg);
+      chrome_trace = sim::trace_chrome_json(trace);
 
       const sim::PhaseBreakdown& p = run.phases;
       std::printf(
@@ -103,10 +109,21 @@ int main() {
   std::fprintf(out, "]}\n");
   std::fclose(out);
 
+  if (std::FILE* tf = std::fopen("BENCH_e2e.trace.json", "w")) {
+    std::fwrite(chrome_trace.data(), 1, chrome_trace.size(), tf);
+    std::fputc('\n', tf);
+    std::fclose(tf);
+  } else {
+    std::fprintf(stderr, "cannot open BENCH_e2e.trace.json for writing\n");
+    return 1;
+  }
+
   std::printf(
       "\nPhases sum to the simulated iteration time; compression wins only\n"
       "where comm_ms dominates (slow links) and loses its codec cost back on\n"
       "fast fabrics (paper Fig. 9).\n");
-  std::printf("\nwrote BENCH_e2e.json\n");
+  std::printf(
+      "\nwrote BENCH_e2e.json and BENCH_e2e.trace.json (open the trace in\n"
+      "chrome://tracing or ui.perfetto.dev)\n");
   return 0;
 }

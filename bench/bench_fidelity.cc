@@ -1,0 +1,101 @@
+// Compression-fidelity benchmark: sweeps the Table I roster with the
+// CompressionFidelityProbe and MetricRegistry attached and reports, per
+// compressor, the achieved wire ratio next to what that ratio *costs* in
+// gradient fidelity — relative L2 reconstruction error, cosine similarity,
+// sign agreement and the error-feedback residual the memory carries. This
+// is the measurement behind the paper's Figures 6-8 quality/ratio
+// trade-off: ratio alone is a misleading utility signal, per-tensor
+// fidelity is what predicts end-to-end usefulness.
+//
+// Prints a table and writes BENCH_fidelity.json (schema in
+// docs/OBSERVABILITY.md). Not built by default:
+//   cmake --build build --target bench_fidelity
+//
+// GRACE_SCALE=<f> (default 1.0) scales the task size for smoke runs;
+// GRACE_FIDELITY_EVERY=<k> (default 1) probes every k-th iteration.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/fidelity.h"
+#include "sim/metric_registry.h"
+#include "sim/tasks.h"
+#include "sim/trace.h"
+
+int main() {
+  using namespace grace;
+
+  double scale = 1.0;
+  if (const char* s = std::getenv("GRACE_SCALE")) scale = std::atof(s);
+  int every_k = 1;
+  if (const char* s = std::getenv("GRACE_FIDELITY_EVERY")) every_k = std::atoi(s);
+  if (every_k < 1) every_k = 1;
+
+  // A Table I cross-section: quantizers (1-bit through 8-bit, stochastic
+  // and deterministic), sparsifiers (top-k family), the EF-centric method
+  // and a low-rank method.
+  const std::vector<std::string> compressors = {
+      "eightbit",    "onebit",       "signsgd",   "qsgd(64)",
+      "terngrad",    "natural",      "topk(0.01)", "randomk(0.01)",
+      "dgc(0.01)",   "efsignsgd",    "powersgd(4)"};
+
+  sim::Benchmark bench = sim::make_cnn_classification(scale * 0.3);
+
+  std::printf("Compression fidelity: %s, %s — what the wire ratio costs\n\n",
+              bench.model.c_str(), bench.dataset.c_str());
+  std::printf("%-15s %-22s %9s %9s %9s %9s %9s %9s\n", "compressor", "tensor",
+              "ratio", "rel_err", "cosine", "sign_agr", "resid_l2",
+              "p99_cmp_us");
+  bench::print_rule(100);
+
+  std::FILE* out = std::fopen("BENCH_fidelity.json", "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open BENCH_fidelity.json for writing\n");
+    return 1;
+  }
+  std::fprintf(out, "{\"benchmark\":\"fidelity\",\"scale\":%g,\"every_k\":%d,",
+               scale, every_k);
+  std::fprintf(out, "\"runs\":[");
+
+  bool first = true;
+  for (const std::string& spec : compressors) {
+    sim::TrainConfig cfg = sim::default_config(bench);
+    cfg.grace.compressor_spec = spec;
+    bench::apply_paper_overrides(spec, cfg, /*classification_task=*/true);
+
+    sim::CompressionFidelityProbe probe(cfg.n_workers, every_k);
+    sim::MetricRegistry registry(cfg.n_workers);
+    cfg.fidelity = &probe;
+    cfg.metrics = &registry;
+    sim::RunResult run = sim::train(bench.factory, cfg);
+
+    double p99_compress_us = 0.0;
+    for (const auto& h : run.metric_histograms) {
+      if (h.name == "exchange.compress_ns") p99_compress_us = h.percentile(0.99) * 1e-3;
+    }
+    for (const auto& t : run.fidelity) {
+      std::printf("%-15s %-22s %9.2f %9.4f %9.4f %9.4f %9.2e %9.2f\n",
+                  spec.c_str(), t.name.c_str(), t.compression_ratio,
+                  t.l2_rel_error, t.cosine_similarity, t.sign_agreement,
+                  t.residual_l2, p99_compress_us);
+    }
+    bench::print_rule(100);
+
+    if (!first) std::fprintf(out, ",");
+    first = false;
+    std::fprintf(out, "{\"compressor\":\"%s\",\"result\":%s}", spec.c_str(),
+                 sim::run_result_json(run).c_str());
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+
+  std::printf(
+      "\nHigh ratio with high cosine/sign-agreement is the paper's sweet\n"
+      "spot; high ratio with high rel_err is where quality collapses\n"
+      "(Figs. 6-8). resid_l2 > 0 marks methods whose error feedback is\n"
+      "carrying the dropped mass forward.\n");
+  std::printf("\nwrote BENCH_fidelity.json\n");
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/grace_world.h"
 
+#include <cmath>
 #include <ctime>
 
 #include "core/registry.h"
@@ -52,12 +53,19 @@ Tensor GraceWorker::exchange(const Tensor& grad, const std::string& name,
   const double t0 = sp ? now_seconds() : 0.0;
   Tensor compensated = memory_->compensate(grad, name);
   CompressedTensor compressed = q_->compress(compensated, name, rng_);
+  Tensor reconstruction;  // Q^-1(Q(phi)); only materialized when needed
   if (memory_->enabled()) {
-    memory_->update(name, compensated, q_->decompress(compressed));
+    reconstruction = q_->decompress(compressed);
+    memory_->update(name, compensated, reconstruction);
   }
   if (sp) {
     sp->compress_seconds = now_seconds() - t0;
     sp->wire_bytes = compressed.wire_bytes();
+  }
+  if (probe_) {
+    // Outside the timed region: probing must not inflate compress_seconds.
+    if (reconstruction.empty()) reconstruction = q_->decompress(compressed);
+    probe_fidelity(name, compensated, compressed, reconstruction);
   }
 
   Tensor aggregated =
@@ -67,6 +75,51 @@ Tensor GraceWorker::exchange(const Tensor& grad, const std::string& name,
 
   if (stats) *stats += local;
   return aggregated;
+}
+
+void GraceWorker::probe_fidelity(const std::string& name,
+                                 const Tensor& compensated,
+                                 const CompressedTensor& compressed,
+                                 const Tensor& reconstruction) {
+  const auto x = compensated.f32();
+  const auto y = reconstruction.f32();
+  const size_t n = x.size();
+  // One fused pass, accumulated in double: the probe runs on large
+  // gradients where float accumulation of squared sums loses digits.
+  double xx = 0.0, yy = 0.0, xy = 0.0, d2 = 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double xi = x[i], yi = y[i];
+    xx += xi * xi;
+    yy += yi * yi;
+    xy += xi * yi;
+    const double d = xi - yi;
+    d2 += d * d;
+    const int sx = xi > 0.0 ? 1 : (xi < 0.0 ? -1 : 0);
+    const int sy = yi > 0.0 ? 1 : (yi < 0.0 ? -1 : 0);
+    agree += sx == sy;
+  }
+
+  FidelitySample s;
+  s.rank = comm_.rank();
+  s.tensor = name;
+  s.numel = compensated.numel();
+  s.dense_bits = static_cast<uint64_t>(s.numel) * 32;
+  s.wire_bits = compressed.ctx.wire_bits;
+  s.compression_ratio = s.wire_bits > 0
+                            ? static_cast<double>(s.dense_bits) /
+                                  static_cast<double>(s.wire_bits)
+                            : 0.0;
+  s.grad_l2 = std::sqrt(xx);
+  s.l2_rel_error = xx > 0.0 ? std::sqrt(d2 / xx) : 0.0;
+  s.cosine_similarity = (xx > 0.0 && yy > 0.0)
+                            ? xy / (std::sqrt(xx) * std::sqrt(yy))
+                            : 1.0;
+  s.sign_agreement = n > 0 ? static_cast<double>(agree) /
+                                 static_cast<double>(n)
+                           : 1.0;
+  s.residual_l2 = memory_->enabled() ? std::sqrt(d2) : 0.0;
+  probe_->on_sample(s);
 }
 
 Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,

@@ -15,6 +15,7 @@
 #include "comm/network_model.h"
 #include "core/compressor.h"
 #include "core/memory.h"
+#include "core/probe.h"
 
 namespace grace::core {
 
@@ -62,6 +63,13 @@ class GraceWorker {
   bool error_feedback_enabled() const { return memory_->enabled(); }
   int rank() const { return comm_.rank(); }
 
+  // Attach / detach a fidelity probe (core/probe.h, not owned). While set,
+  // every exchange measures what compression did to the tensor (one extra
+  // decompress when error feedback is off) and reports a FidelitySample;
+  // when null (the default) the cost is a single pointer test. Callers
+  // toggle this between iterations to sample every K-th exchange.
+  void set_probe(ExchangeProbe* probe) { probe_ = probe; }
+
  private:
   // `stats` may be null: the exchange still runs, only accounting is skipped.
   Tensor exchange_collective(const CompressedTensor& compressed, int tag,
@@ -69,12 +77,19 @@ class GraceWorker {
   Tensor exchange_parameter_server(const CompressedTensor& compressed, int tag,
                                    ExchangeStats* stats);
 
+  // Measure fidelity of `reconstruction` (= Q^-1(Q(compensated))) against
+  // the compensated gradient and hand the sample to probe_.
+  void probe_fidelity(const std::string& name, const Tensor& compensated,
+                      const CompressedTensor& compressed,
+                      const Tensor& reconstruction);
+
   Topology topology_;
   std::unique_ptr<Compressor> q_;
   std::unique_ptr<Memory> memory_;
   comm::Comm comm_;
   comm::NetworkModel net_;
   Rng rng_;
+  ExchangeProbe* probe_ = nullptr;
   int next_tag_ = 1;
 };
 

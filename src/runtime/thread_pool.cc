@@ -1,6 +1,8 @@
 #include "runtime/thread_pool.h"
 
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -69,8 +71,16 @@ int threads_from_env(const char* value) {
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long parsed = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || parsed < 1) return fallback;
+  // Tolerate surrounding whitespace (strtol already skips leading), but
+  // any other trailing garbage means the value is not a thread count.
+  while (*end != '\0' && std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (end == value || *end != '\0' || errno == ERANGE) return fallback;
+  // A parsed-but-senseless count (0, negative) clamps to 1 rather than
+  // silently re-enabling full parallelism: the user asked for "as little
+  // as possible", not for hardware_concurrency.
+  if (parsed < 1) return 1;
   return static_cast<int>(std::min<long>(parsed, 1024));
 }
 

@@ -65,8 +65,10 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-// Parse a GRACE_NUM_THREADS value: null/empty/non-numeric/non-positive
-// fall back to hardware_concurrency (>= 1). Exposed for tests.
+// Parse a GRACE_NUM_THREADS value. null/empty/unparseable (non-numeric,
+// trailing garbage, out of long range) fall back to hardware_concurrency
+// (>= 1); a parsed 0/negative clamps to 1; anything above 1024 clamps to
+// 1024; surrounding whitespace is tolerated. Exposed for tests.
 int threads_from_env(const char* value);
 
 // Total lanes (workers + caller) of the global pool.

@@ -1,0 +1,92 @@
+// Compression-fidelity observability (the second layer on top of
+// sim/trace): a CompressionFidelityProbe attaches to every GraceWorker via
+// TrainConfig::fidelity and, every K-th iteration, records what compression
+// did to each gradient tensor — achieved wire ratio, relative L2
+// reconstruction error, cosine similarity, sign-agreement rate and the
+// error-feedback residual norm (the quantities behind the paper's
+// Figures 6-8 quality/ratio trade-off). Like tracing, it is opt-in and
+// zero-cost when off: the trainer performs one null test per iteration and
+// GraceWorker one per exchange.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/probe.h"
+
+namespace grace::sim {
+
+// Per-tensor aggregate over every probed exchange of the run, merged
+// across ranks (deterministically: ranks folded in ascending order).
+struct TensorFidelitySummary {
+  std::string name;
+  int64_t numel = 0;
+  int64_t samples = 0;             // probed exchanges summed over all ranks
+  // Achieved ratio over the sampled exchanges: total dense bits / total
+  // wire bits (not the mean of per-exchange ratios, which over-weights
+  // cheap exchanges).
+  double compression_ratio = 0.0;
+  double mean_wire_bits = 0.0;
+  // Means over samples.
+  double l2_rel_error = 0.0;
+  double cosine_similarity = 0.0;
+  double sign_agreement = 0.0;
+  double grad_l2 = 0.0;
+  double residual_l2 = 0.0;        // 0 when error feedback is off
+};
+
+// Implements the core::ExchangeProbe hook with lock-free per-rank storage:
+// each rank's worker thread appends only to its own slot (same discipline
+// as Trace's rings), so recording needs no synchronization; summaries()
+// must only be called after the worker threads have joined.
+class CompressionFidelityProbe final : public core::ExchangeProbe {
+ public:
+  // Sample every `every_k`-th iteration (clamped to >= 1). The trainer
+  // consults should_sample(); standalone GraceWorker users can simply
+  // leave the probe attached to sample every exchange.
+  explicit CompressionFidelityProbe(int n_ranks, int every_k = 1);
+
+  int every_k() const { return every_k_; }
+  bool should_sample(int64_t iteration) const {
+    return iteration % every_k_ == 0;
+  }
+
+  void on_sample(const core::FidelitySample& sample) override;
+
+  // Total probed exchanges across all ranks.
+  int64_t samples() const;
+  // Per-tensor aggregates in first-exchanged order (identical on every
+  // rank because all ranks exchange tensors in the same order).
+  std::vector<TensorFidelitySummary> summaries() const;
+
+  int n_ranks() const { return static_cast<int>(ranks_.size()); }
+
+ private:
+  struct Accum {
+    std::string name;
+    int64_t numel = 0;
+    int64_t samples = 0;
+    uint64_t dense_bits = 0;
+    uint64_t wire_bits = 0;
+    double l2_rel_error = 0.0;
+    double cosine_similarity = 0.0;
+    double sign_agreement = 0.0;
+    double grad_l2 = 0.0;
+    double residual_l2 = 0.0;
+  };
+  // Cache-line separation between rank slots: ranks record concurrently.
+  struct alignas(64) RankSlot {
+    std::vector<Accum> tensors;  // first-seen order; linear lookup (few)
+  };
+
+  int every_k_;
+  std::vector<RankSlot> ranks_;
+};
+
+// JSON array of TensorFidelitySummary records (shared by run_result_json,
+// bench_fidelity and the tests; no external JSON dependency).
+std::string fidelity_summaries_json(
+    const std::vector<TensorFidelitySummary>& summaries);
+
+}  // namespace grace::sim

@@ -6,6 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/fidelity.h"
+#include "sim/metric_registry.h"
+
 namespace grace::sim {
 
 struct EpochRecord {
@@ -78,6 +81,14 @@ struct RunResult {
   std::vector<TensorTraceSummary> tensor_trace;
   // Events overwritten in the trace rings (0 when untraced or not full).
   uint64_t trace_events_dropped = 0;
+
+  // Compression-fidelity aggregates (sim/fidelity.h), merged across ranks;
+  // populated when TrainConfig::fidelity is set, empty otherwise.
+  std::vector<TensorFidelitySummary> fidelity;
+  // Exchange-level counter / distribution snapshots (sim/metric_registry.h);
+  // populated when TrainConfig::metrics is set, empty otherwise.
+  std::vector<CounterSnapshot> metric_counters;
+  std::vector<HistogramSnapshot> metric_histograms;
 
   // Epoch sample accounting: iterations only cover whole global batches, so
   // train_size % (n_workers * batch_per_worker) samples are dropped from

@@ -1,6 +1,7 @@
 #include "sim/trace.h"
 
 #include <cassert>
+#include <limits>
 #include <sstream>
 
 #include "sim/metrics.h"
@@ -76,7 +77,9 @@ uint64_t Trace::dropped() const {
 
 std::string run_result_json(const RunResult& r) {
   std::ostringstream os;
-  os.precision(9);
+  // Round-trip precision: sub-microsecond phase sums must survive
+  // serialization exactly, and precision(9) truncates doubles.
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << '{';
   os << "\"model\":";
   append_escaped(os, r.model);
@@ -119,13 +122,17 @@ std::string run_result_json(const RunResult& r) {
        << ",\"decompress_seconds\":" << t.decompress_s
        << ",\"wire_bytes\":" << t.wire_bytes << '}';
   }
-  os << "]}";
+  os << ']';
+  os << ",\"fidelity\":" << fidelity_summaries_json(r.fidelity);
+  os << ",\"metrics\":"
+     << metrics_json(r.metric_counters, r.metric_histograms);
+  os << '}';
   return os.str();
 }
 
 std::string trace_events_json(const Trace& t) {
   std::ostringstream os;
-  os.precision(9);
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << '[';
   bool first = true;
   for (const TraceEvent& ev : t.events()) {

@@ -1,0 +1,44 @@
+#include "sim/trace_chrome.h"
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace grace::sim {
+
+std::string trace_chrome_json(const Trace& t) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // Track-naming metadata: one process for the simulated job, one thread
+  // per rank.
+  os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"grace-sim\"}}";
+  for (int r = 0; r < t.n_ranks(); ++r) {
+    os << ",{\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"rank " << r
+       << "\"}}";
+  }
+
+  // Per-rank cursors: events within one rank are chronological, so each
+  // complete event starts where the previous one on that track ended.
+  std::vector<double> cursor_us(static_cast<size_t>(t.n_ranks()), 0.0);
+  for (const TraceEvent& ev : t.events()) {
+    const auto rank = static_cast<size_t>(ev.rank);
+    const double dur_us = ev.seconds * 1e6;
+    os << ",{\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.rank << ",\"name\":\""
+       << phase_name(ev.phase) << "\",\"cat\":\"" << phase_name(ev.phase)
+       << "\",\"ts\":" << cursor_us[rank] << ",\"dur\":" << dur_us
+       << ",\"args\":{\"epoch\":" << ev.epoch << ",\"iter\":" << ev.iter
+       << ",\"tensor\":" << ev.tensor << ",\"bytes\":" << ev.bytes << "}}";
+    cursor_us[rank] += dur_us;
+  }
+
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace grace::sim

@@ -9,6 +9,8 @@
 #include "comm/collectives.h"
 #include "core/registry.h"
 #include "runtime/thread_pool.h"
+#include "sim/fidelity.h"
+#include "sim/metric_registry.h"
 #include "sim/trace.h"
 #include "tensor/ops.h"
 
@@ -85,6 +87,8 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   const double backward_iter_s = result.compute_s * backward_share;
 
   Trace* const trace = cfg.trace;
+  CompressionFidelityProbe* const fidelity = cfg.fidelity;
+  MetricRegistry* const metrics = cfg.metrics;
 
   auto worker_fn = [&](int rank) {
     auto model = factory(cfg.seed);  // same init seed on every worker
@@ -126,6 +130,21 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       record(epoch, it, Phase::Decompress, tensor,
              s.decompress_seconds * cfg.time.compression_time_scale, 0);
     };
+    // Per-exchange distributions (the same scaled quantities the trace
+    // records, so the registry's tails are comparable with the phase means).
+    auto record_metrics = [&](const core::ExchangeStats& s) {
+      metrics->inc(rank, "exchange.count");
+      metrics->inc(rank, "exchange.wire_bytes_total", s.wire_bytes);
+      metrics->observe(rank, "exchange.compress_ns",
+                       (s.compress_seconds * cfg.time.compression_time_scale +
+                        fixed_per_tensor) * 1e9);
+      metrics->observe(rank, "exchange.decompress_ns",
+                       s.decompress_seconds *
+                           cfg.time.compression_time_scale * 1e9);
+      metrics->observe(rank, "exchange.comm_ns", s.comm_seconds * 1e9);
+      metrics->observe(rank, "exchange.wire_bytes",
+                       static_cast<double>(s.wire_bytes));
+    };
 
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
       if (cfg.lr_decay_every > 0 && epoch > 0 && epoch % cfg.lr_decay_every == 0) {
@@ -133,6 +152,14 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       }
       const auto order = epoch_order(train_n, cfg.seed, epoch);
       for (int64_t it = 0; it < iters_per_epoch; ++it) {
+        if (fidelity) {
+          // Sample every K-th iteration: attach the probe to this worker's
+          // exchanges for exactly the sampled iterations.
+          grace.set_probe(
+              fidelity->should_sample(epoch * iters_per_epoch + it)
+                  ? fidelity
+                  : nullptr);
+        }
         const int64_t base = it * global_batch + static_cast<int64_t>(rank) * cfg.batch_per_worker;
         std::span<const int64_t> slice;
         if (base + cfg.batch_per_worker <= train_n) {
@@ -169,6 +196,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
           }
           Tensor aggregated = grace.exchange(fused, "fused", &stats);
           if (trace) record_exchange(epoch, it, 0, stats);
+          if (metrics) record_metrics(stats);
           auto agg = aggregated.f32();
           at = 0;
           size_t slot = 0;
@@ -186,6 +214,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
               record_exchange(epoch, it, static_cast<int32_t>(slot),
                               tensor_stats);
             }
+            if (metrics) record_metrics(tensor_stats);
             stats += tensor_stats;
             optimizer->apply(slot++, p.value->data.f32(), aggregated.f32());
           }
@@ -364,6 +393,13 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
           break;
       }
     }
+  }
+
+  // Fidelity / metrics snapshots (both merges are deterministic).
+  if (fidelity) result.fidelity = fidelity->summaries();
+  if (metrics) {
+    result.metric_counters = metrics->counters();
+    result.metric_histograms = metrics->histograms();
   }
 
   result.error_feedback =

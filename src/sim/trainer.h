@@ -17,6 +17,8 @@
 namespace grace::sim {
 
 class Trace;
+class CompressionFidelityProbe;
+class MetricRegistry;
 
 using ReplicaFactory =
     std::function<std::unique_ptr<models::DistributedModel>(uint64_t init_seed)>;
@@ -49,6 +51,18 @@ struct TrainConfig {
   // RunResult::tensor_trace from rank 0's events. When null (the default)
   // no recording happens at all — the only cost is a pointer test.
   Trace* trace = nullptr;
+  // Optional compression-fidelity probe (sim/fidelity.h, not owned). When
+  // set, every probe->every_k()-th iteration measures per-tensor
+  // reconstruction fidelity inside GraceWorker::exchange and the trainer
+  // fills RunResult::fidelity. When null the cost is one branch per
+  // iteration and one per exchange.
+  CompressionFidelityProbe* fidelity = nullptr;
+  // Optional exchange-level metrics registry (sim/metric_registry.h, not
+  // owned). When set, every exchange records compress/decompress latency
+  // and message-size distributions plus counters; the trainer snapshots
+  // them into RunResult::metric_counters / metric_histograms. When null
+  // the cost is one branch per exchange.
+  MetricRegistry* metrics = nullptr;
 };
 
 // Runs the full training loop; every worker sees the same `factory` and

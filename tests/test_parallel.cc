@@ -33,13 +33,24 @@ struct PoolGuard {
 TEST(ThreadPool, EnvParsing) {
   const int fallback =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  // Unset / unparseable values fall back to hardware_concurrency.
   EXPECT_EQ(runtime::threads_from_env(nullptr), fallback);
   EXPECT_EQ(runtime::threads_from_env(""), fallback);
   EXPECT_EQ(runtime::threads_from_env("abc"), fallback);
-  EXPECT_EQ(runtime::threads_from_env("0"), fallback);
-  EXPECT_EQ(runtime::threads_from_env("-4"), fallback);
+  EXPECT_EQ(runtime::threads_from_env("4abc"), fallback);
+  EXPECT_EQ(runtime::threads_from_env("4.5"), fallback);
+  EXPECT_EQ(runtime::threads_from_env("  "), fallback);
+  EXPECT_EQ(runtime::threads_from_env("99999999999999999999"), fallback);
+  // Parsed but senseless counts clamp to the minimum of one lane.
+  EXPECT_EQ(runtime::threads_from_env("0"), 1);
+  EXPECT_EQ(runtime::threads_from_env("-4"), 1);
+  // Valid counts pass through; surrounding whitespace is tolerated and
+  // absurd counts clamp at 1024.
+  EXPECT_EQ(runtime::threads_from_env("1"), 1);
   EXPECT_EQ(runtime::threads_from_env("3"), 3);
   EXPECT_EQ(runtime::threads_from_env("8"), 8);
+  EXPECT_EQ(runtime::threads_from_env(" 8 "), 8);
+  EXPECT_EQ(runtime::threads_from_env("99999"), 1024);
 }
 
 TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {

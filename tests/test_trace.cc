@@ -4,12 +4,11 @@
 // by default).
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
-#include <set>
 #include <string>
 
 #include "data/synthetic_images.h"
+#include "json_checker.h"
 #include "models/cnn_small.h"
 #include "sim/tasks.h"
 #include "sim/trace.h"
@@ -17,133 +16,7 @@
 namespace grace::sim {
 namespace {
 
-// --- Minimal recursive-descent JSON validator -------------------------------
-// Enough JSON to check that the emitted documents parse and to walk their
-// keys; deliberately strict (no trailing commas, no comments).
-
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : s_(text) {}
-
-  bool parse() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return at_ == s_.size();
-  }
-
-  const std::set<std::string>& keys() const { return keys_; }
-
- private:
-  bool value() {
-    if (at_ >= s_.size()) return false;
-    const char c = s_[at_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_lit(nullptr);
-    if (c == 't') return literal("true");
-    if (c == 'f') return literal("false");
-    if (c == 'n') return literal("null");
-    return number();
-  }
-
-  bool object() {
-    ++at_;  // '{'
-    skip_ws();
-    if (peek('}')) return true;
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!string_lit(&key)) return false;
-      keys_.insert(key);
-      skip_ws();
-      if (!expect(':')) return false;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek('}')) return true;
-      if (!expect(',')) return false;
-    }
-  }
-
-  bool array() {
-    ++at_;  // '['
-    skip_ws();
-    if (peek(']')) return true;
-    while (true) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek(']')) return true;
-      if (!expect(',')) return false;
-    }
-  }
-
-  bool string_lit(std::string* out) {
-    if (!expect('"')) return false;
-    while (at_ < s_.size() && s_[at_] != '"') {
-      if (s_[at_] == '\\') {
-        ++at_;
-        if (at_ >= s_.size()) return false;
-      }
-      if (out) out->push_back(s_[at_]);
-      ++at_;
-    }
-    return expect('"');
-  }
-
-  bool number() {
-    const size_t start = at_;
-    if (at_ < s_.size() && (s_[at_] == '-' || s_[at_] == '+')) ++at_;
-    bool digits = false;
-    auto run = [&] {
-      while (at_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[at_]))) {
-        ++at_;
-        digits = true;
-      }
-    };
-    run();
-    if (at_ < s_.size() && s_[at_] == '.') { ++at_; run(); }
-    if (digits && at_ < s_.size() && (s_[at_] == 'e' || s_[at_] == 'E')) {
-      ++at_;
-      if (at_ < s_.size() && (s_[at_] == '-' || s_[at_] == '+')) ++at_;
-      const bool before = digits;
-      digits = false;
-      run();
-      digits = digits && before;
-    }
-    return digits && at_ > start;
-  }
-
-  bool literal(const char* word) {
-    for (const char* p = word; *p; ++p) {
-      if (at_ >= s_.size() || s_[at_] != *p) return false;
-      ++at_;
-    }
-    return true;
-  }
-
-  void skip_ws() {
-    while (at_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[at_]))) {
-      ++at_;
-    }
-  }
-  bool peek(char c) {
-    if (at_ < s_.size() && s_[at_] == c) { ++at_; return true; }
-    return false;
-  }
-  bool expect(char c) {
-    if (at_ < s_.size() && s_[at_] == c) { ++at_; return true; }
-    return false;
-  }
-
-  const std::string& s_;
-  size_t at_ = 0;
-  std::set<std::string> keys_;
-};
-
-// ----------------------------------------------------------------------------
+using grace::testing::JsonChecker;
 
 TEST(Trace, PhaseNamesCoverTaxonomy) {
   EXPECT_STREQ(phase_name(Phase::Forward), "forward");
@@ -181,6 +54,70 @@ TEST(Trace, RingOverwritesOldestAndCountsDropped) {
   EXPECT_EQ(events[0].iter, 6);
   EXPECT_EQ(events[3].iter, 9);
   EXPECT_EQ(trace.dropped(), 6u);
+}
+
+TEST(Trace, WraparoundKeepsNewestEventsAcrossMultipleWraps) {
+  // 25 events through a capacity-4 ring: wraps 6 times; the cursor ends
+  // mid-ring (25 % 4 == 1), so oldest-first recovery must stitch the two
+  // segments around it.
+  Trace trace(1, /*capacity_per_rank=*/4);
+  for (int i = 0; i < 25; ++i) {
+    trace.record(0, TraceEvent{0, i, 0, Phase::Comm, -1, 0.0, 0});
+  }
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(events[static_cast<size_t>(j)].iter, 21 + j);
+  }
+  EXPECT_EQ(trace.dropped(), 21u);
+}
+
+TEST(Trace, WraparoundCapacityOneKeepsOnlyTheNewest) {
+  Trace trace(1, /*capacity_per_rank=*/1);
+  for (int i = 0; i < 7; ++i) {
+    trace.record(0, TraceEvent{0, i, 0, Phase::Forward, -1, 0.0, 0});
+  }
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].iter, 6);
+  EXPECT_EQ(trace.dropped(), 6u);
+}
+
+TEST(Trace, WraparoundDropsAreCountedPerRank) {
+  // Rank 0 wraps (10 events into capacity 3), rank 1 exactly fills, rank 2
+  // stays under capacity: dropped() must count only rank 0's overwrites
+  // and per-rank ordering must stay oldest-first.
+  Trace trace(3, /*capacity_per_rank=*/3);
+  for (int i = 0; i < 10; ++i) {
+    trace.record(0, TraceEvent{0, i, 0, Phase::Compress, 0, 0.0, 0});
+  }
+  for (int i = 0; i < 3; ++i) {
+    trace.record(1, TraceEvent{0, i, 1, Phase::Comm, 0, 0.0, 0});
+  }
+  trace.record(2, TraceEvent{0, 0, 2, Phase::Optimizer, -1, 0.0, 0});
+  EXPECT_EQ(trace.dropped(), 7u);
+
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 7u);  // 3 + 3 + 1, ranks concatenated
+  EXPECT_EQ(events[0].iter, 7);  // rank 0 retained the newest three
+  EXPECT_EQ(events[1].iter, 8);
+  EXPECT_EQ(events[2].iter, 9);
+  EXPECT_EQ(events[3].iter, 0);  // rank 1 full but never wrapped
+  EXPECT_EQ(events[5].iter, 2);
+  EXPECT_EQ(events[6].rank, 2);
+}
+
+TEST(Trace, EventsJsonRoundTripsDoublesExactly) {
+  // Sub-microsecond phase durations must survive serialization bit-exactly
+  // (max_digits10 formatting); precision(9) used to truncate them.
+  const double seconds = 1.0 / 3.0 * 1e-7;
+  Trace trace(1, 4);
+  trace.record(0, TraceEvent{0, 0, 0, Phase::Compress, 0, seconds, 0});
+  const std::string json = trace_events_json(trace);
+  const size_t at = json.find("\"seconds\":");
+  ASSERT_NE(at, std::string::npos);
+  const double parsed = std::stod(json.substr(at + 10));
+  EXPECT_EQ(parsed, seconds);  // bitwise round-trip, not approximate
 }
 
 TEST(Trace, EventsJsonParses) {
@@ -230,7 +167,8 @@ TEST(TraceSmoke, TracedRunEmitsValidJsonWithAllPhases) {
   for (const char* key :
        {"forward", "backward", "compress", "comm", "decompress", "optimizer",
         "phases", "iteration_seconds", "wire_bytes_per_iter", "tensors",
-        "samples_dropped_per_epoch"}) {
+        "samples_dropped_per_epoch", "fidelity", "metrics", "counters",
+        "histograms"}) {
     EXPECT_TRUE(checker.keys().count(key)) << "missing key: " << key;
   }
   EXPECT_EQ(run.trace_events_dropped, 0u);
