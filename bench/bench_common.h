@@ -5,10 +5,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "core/registry.h"
+#include "faults/fault_plan.h"
 #include "sim/tasks.h"
 
 namespace grace::bench {
@@ -60,6 +62,45 @@ inline void apply_paper_overrides(const std::string& spec,
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+// `--faults=<plan.json>` — the shared fault-plan flag of the benchmark
+// binaries (docs/RESILIENCE.md). Returns the path when present, nullptr
+// otherwise; any other argument aborts with a usage message.
+inline const char* fault_plan_arg(int argc, char** argv, const char* prog) {
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--faults=", 0) == 0 && arg.size() > 9) {
+      path = argv[i] + 9;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\nusage: %s [--faults=<plan.json>]\n",
+                   argv[i], prog);
+      std::exit(2);
+    }
+  }
+  return path;
+}
+
+// Reads and parses a fault-plan JSON file; aborts with a diagnostic on I/O
+// or schema errors (a typoed plan must not silently run healthy).
+inline faults::FaultSpec load_fault_spec(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) {
+    std::fprintf(stderr, "cannot open fault plan '%s'\n", path);
+    std::exit(2);
+  }
+  std::string text;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  try {
+    return faults::parse_fault_spec_json(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "invalid fault plan '%s': %s\n", path, e.what());
+    std::exit(2);
+  }
 }
 
 }  // namespace grace::bench

@@ -13,6 +13,8 @@
 // cmake --build build --target bench_e2e.
 //
 // GRACE_SCALE=<f> (default 1.0) scales the task size for smoke runs.
+// --faults=<plan.json> runs the whole sweep under a deterministic fault
+// plan (docs/RESILIENCE.md); resilience counters land in the JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -34,8 +36,15 @@ struct NetConfig {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace grace;
+
+  const char* plan_path = bench::fault_plan_arg(argc, argv, "bench_e2e");
+  faults::FaultPlan plan;
+  if (plan_path != nullptr) {
+    plan = faults::FaultPlan(bench::load_fault_spec(plan_path));
+    std::printf("fault plan: %s\n", faults::fault_spec_json(plan.spec()).c_str());
+  }
 
   double scale = 1.0;
   if (const char* s = std::getenv("GRACE_SCALE")) scale = std::atof(s);
@@ -79,6 +88,8 @@ int main() {
       cfg.net.transport = net.transport;
       cfg.net.latency_us = net.latency_us;
       bench::apply_paper_overrides(spec, cfg, /*classification_task=*/true);
+
+      if (plan_path != nullptr) cfg.faults = &plan;
 
       sim::Trace trace(cfg.n_workers);
       cfg.trace = &trace;

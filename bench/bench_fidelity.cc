@@ -13,6 +13,8 @@
 //
 // GRACE_SCALE=<f> (default 1.0) scales the task size for smoke runs;
 // GRACE_FIDELITY_EVERY=<k> (default 1) probes every k-th iteration.
+// --faults=<plan.json> runs the sweep under a deterministic fault plan
+// (docs/RESILIENCE.md) — fidelity under packet loss and corruption.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,8 +26,15 @@
 #include "sim/tasks.h"
 #include "sim/trace.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace grace;
+
+  const char* plan_path = bench::fault_plan_arg(argc, argv, "bench_fidelity");
+  faults::FaultPlan plan;
+  if (plan_path != nullptr) {
+    plan = faults::FaultPlan(bench::load_fault_spec(plan_path));
+    std::printf("fault plan: %s\n", faults::fault_spec_json(plan.spec()).c_str());
+  }
 
   double scale = 1.0;
   if (const char* s = std::getenv("GRACE_SCALE")) scale = std::atof(s);
@@ -69,6 +78,7 @@ int main() {
     sim::MetricRegistry registry(cfg.n_workers);
     cfg.fidelity = &probe;
     cfg.metrics = &registry;
+    if (plan_path != nullptr) cfg.faults = &plan;
     sim::RunResult run = sim::train(bench.factory, cfg);
 
     double p99_compress_us = 0.0;

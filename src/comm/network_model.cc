@@ -67,6 +67,11 @@ double NetworkModel::parameter_server_seconds(size_t total_upload_bytes,
          2.0 * (n - 1.0) * per_message_overhead_sec();
 }
 
+double NetworkModel::retransmit_seconds(size_t bytes) const {
+  return static_cast<double>(bytes) / effective_bytes_per_sec() +
+         2.0 * latency_us * 1e-6 + 2.0 * per_message_overhead_sec();
+}
+
 std::string transport_name(Transport t) {
   return t == Transport::Tcp ? "TCP" : "RDMA";
 }

@@ -42,6 +42,12 @@ struct NetworkModel {
   // workers. The server link is the bottleneck on both phases.
   double parameter_server_seconds(size_t total_upload_bytes,
                                   size_t download_bytes) const;
+  // One point-to-point retransmission of a `bytes` payload, the NACK path
+  // of the fault-injection subsystem (docs/RESILIENCE.md): the negative
+  // acknowledgement travels back to the sender, then the payload crosses
+  // the link again — two message overheads, two one-way latencies, one
+  // payload transmission.
+  double retransmit_seconds(size_t bytes) const;
 
   std::string to_string() const;
 };

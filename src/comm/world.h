@@ -13,6 +13,26 @@ namespace grace::comm {
 
 class World;
 
+// Hook interface for the deterministic fault-injection subsystem
+// (src/faults, docs/RESILIENCE.md). Installed on a World and consulted by
+// every Comm::send / Comm::recv — a single pointer test when absent.
+// Implementations must be deterministic: decisions may depend only on
+// (plan seed, link, per-link sequence number), never on wall clock.
+class LinkFaults {
+ public:
+  virtual ~LinkFaults() = default;
+  // Sender side, called before the clean payload is enqueued: stage any
+  // simulated failed delivery attempts (flagged Messages) for dst.
+  virtual void stage_attempts(World& world, int src, int dst, int tag,
+                              const Tensor& payload) = 0;
+  // Receiver side: `receiver` consumed and discarded a flagged attempt;
+  // charge its simulated detection + retransmission cost.
+  virtual void on_failed_attempt(int receiver, const Message& attempt) = 0;
+  // Real-time receive deadline (liveness guard against a crashed peer).
+  // Simulated retry waits are charged via on_failed_attempt, never waited.
+  virtual double recv_deadline_s() const = 0;
+};
+
 class Comm {
  public:
   Comm(World* world, int rank) : world_(world), rank_(rank) {}
@@ -41,6 +61,12 @@ class World {
   Comm comm(int rank) { return Comm(this, rank); }
   Mailbox& mailbox(int rank) { return *mailboxes_.at(static_cast<size_t>(rank)); }
 
+  // Install (nullptr clears) the fault-injection hooks; not owned. While
+  // installed, receives carry a deadline and bare Mailbox::take asserts in
+  // debug builds.
+  void install_faults(LinkFaults* faults);
+  LinkFaults* faults() const { return faults_; }
+
   // World-wide transport counters: every send() from any rank (including
   // collective internals) increments these. Comm handles are passed by
   // value, so their per-handle bytes_sent() cannot see traffic from copies;
@@ -58,6 +84,7 @@ class World {
 
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  LinkFaults* faults_ = nullptr;
   std::atomic<uint64_t> messages_{0};
   std::atomic<uint64_t> payload_bytes_{0};
 };

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/crc32.h"
+
 namespace grace::core {
 namespace {
 
@@ -19,6 +21,14 @@ class ByteWriter {
     const auto at = buf_.size();
     buf_.resize(at + bytes.size());
     std::memcpy(buf_.data() + at, bytes.data(), bytes.size());
+  }
+  // Appends the little-endian CRC32 of everything written so far, closing
+  // the frame per the util/crc32.h convention. Must be the last write.
+  void seal_crc32() {
+    const uint32_t crc = util::frame_crc(buf_);
+    for (size_t i = 0; i < util::kFrameCrcBytes; ++i) {
+      buf_.push_back(static_cast<std::byte>((crc >> (8 * i)) & 0xFFu));
+    }
   }
   Tensor finish() const {
     Tensor t(DType::U8, Shape{{static_cast<int64_t>(buf_.size())}});
@@ -91,12 +101,19 @@ Tensor serialize(const CompressedTensor& ct) {
   w.put<uint32_t>(static_cast<uint32_t>(ct.ctx.ints.size()));
   for (int64_t i : ct.ctx.ints) w.put<int64_t>(i);
   w.put<uint64_t>(ct.ctx.wire_bits);
+  w.seal_crc32();
   return w.finish();
 }
 
 CompressedTensor deserialize(const Tensor& blob) {
   assert(blob.dtype() == DType::U8);
-  ByteReader r(blob.bytes());
+  const auto frame = blob.bytes();
+  if (!util::frame_crc_ok(frame)) {
+    throw std::runtime_error(
+        "CompressedTensor deserialize: CRC32 mismatch (corrupt or truncated "
+        "frame)");
+  }
+  ByteReader r(frame.first(frame.size() - util::kFrameCrcBytes));
   CompressedTensor ct;
   const auto n_parts = r.get<uint32_t>();
   ct.parts.reserve(n_parts);

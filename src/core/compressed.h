@@ -24,6 +24,11 @@ struct CompressedTensor {
 };
 
 // Serialize to a flat byte tensor and back. Round-trip is bit-exact.
+// The frame carries a CRC32 trailer (util/crc32.h): deserialize verifies
+// it and throws std::runtime_error on any corruption or truncation, so a
+// damaged payload is detected and retransmitted (docs/RESILIENCE.md)
+// instead of silently aggregated. The trailer is physical framing only —
+// ctx.wire_bits, the logical wire size, is unchanged by it.
 Tensor serialize(const CompressedTensor& ct);
 CompressedTensor deserialize(const Tensor& blob);
 

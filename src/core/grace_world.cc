@@ -43,6 +43,14 @@ GraceWorker::GraceWorker(const GraceConfig& cfg, comm::Comm comm,
   }
 }
 
+void GraceWorker::absorb(const Tensor& grad, const std::string& name) {
+  if (!memory_->enabled()) return;
+  // psi(m, g, 0): nothing was transmitted, so the whole compensated
+  // gradient becomes the new residual.
+  Tensor compensated = memory_->compensate(grad, name);
+  memory_->update(name, compensated, Tensor::zeros_like(grad));
+}
+
 Tensor GraceWorker::exchange(const Tensor& grad, const std::string& name,
                              ExchangeStats* stats) {
   ExchangeStats local;

@@ -59,6 +59,18 @@ class GraceWorker {
   Tensor exchange(const Tensor& grad, const std::string& name,
                   ExchangeStats* stats = nullptr);
 
+  // Degraded-mode support (docs/RESILIENCE.md). absorb() folds a gradient
+  // that could NOT be exchanged (a skipped round) into the error-feedback
+  // residual — psi with an all-zero decompression, so the work feeds the
+  // next round instead of being lost; a no-op when EF is off. rebind()
+  // swaps the communication endpoint and cost model after a crash shrinks
+  // the world: compressor state and EF residuals carry over untouched.
+  void absorb(const Tensor& grad, const std::string& name);
+  void rebind(comm::Comm comm, const comm::NetworkModel& net) {
+    comm_ = comm;
+    net_ = net;
+  }
+
   Compressor& compressor() { return *q_; }
   bool error_feedback_enabled() const { return memory_->enabled(); }
   int rank() const { return comm_.rank(); }

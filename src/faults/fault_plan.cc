@@ -1,0 +1,252 @@
+#include "faults/fault_plan.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace grace::faults {
+namespace {
+
+// splitmix64 finalizer: a full-avalanche 64-bit mix, the standard choice
+// for turning structured integers (rank, epoch, iter) into uniform bits.
+constexpr uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform double in [0, 1) from the top 53 bits.
+constexpr double unit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Decision-kind domains so e.g. drop and corrupt draws at the same
+// coordinates are independent.
+enum : uint64_t {
+  kKindDrop = 0x9d,
+  kKindCorrupt = 0xc0,
+  kKindCorruptBit = 0xcb,
+  kKindStraggler = 0x57,
+  kKindSkipRound = 0x5c,
+};
+
+uint64_t link_id(int src, int dst) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(src)) << 32) |
+         static_cast<uint32_t>(dst);
+}
+
+void check_prob(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultSpec: ") + name +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultSpec& spec) : spec_(spec) {
+  check_prob(spec.drop_prob, "drop_prob");
+  check_prob(spec.corrupt_prob, "corrupt_prob");
+  check_prob(spec.straggler_prob, "straggler_prob");
+  check_prob(spec.skip_round_prob, "skip_round_prob");
+  if (spec.drop_prob + spec.corrupt_prob > 1.0) {
+    throw std::invalid_argument(
+        "FaultSpec: drop_prob + corrupt_prob must not exceed 1");
+  }
+  if (spec.max_retries < 1) {
+    throw std::invalid_argument(
+        "FaultSpec: max_retries must be >= 1 (the final attempt is the "
+        "guaranteed delivery)");
+  }
+  if (spec.retry_timeout_s < 0.0 || spec.straggler_delay_s < 0.0) {
+    throw std::invalid_argument("FaultSpec: delays must be non-negative");
+  }
+  if (spec.crash_rank == 0) {
+    throw std::invalid_argument(
+        "FaultSpec: crash_rank 0 is not supported — rank 0 owns evaluation "
+        "and run bookkeeping and must survive");
+  }
+  if (spec.has_crash() && (spec.crash_epoch < 0 || spec.crash_iter < 0)) {
+    throw std::invalid_argument(
+        "FaultSpec: crash_epoch and crash_iter must be non-negative");
+  }
+}
+
+uint64_t FaultPlan::hash(uint64_t kind, uint64_t a, uint64_t b,
+                         uint64_t c) const {
+  uint64_t h = mix(spec_.seed ^ (kind * 0xff51afd7ed558ccdULL));
+  h = mix(h ^ a);
+  h = mix(h ^ b);
+  return mix(h ^ c);
+}
+
+uint8_t FaultPlan::attempt_outcome(int src, int dst, uint64_t seq,
+                                   int attempt) const {
+  if (attempt >= spec_.max_retries) return 0;
+  const uint64_t link = link_id(src, dst);
+  const auto at = static_cast<uint64_t>(attempt);
+  const double u = unit(hash(kKindDrop, link, seq, at));
+  if (u < spec_.drop_prob) return kAttemptDropped;
+  if (u < spec_.drop_prob + spec_.corrupt_prob) return kAttemptCorrupt;
+  return 0;
+}
+
+uint64_t FaultPlan::corrupt_bit(int src, int dst, uint64_t seq, int attempt,
+                                uint64_t n_bits) const {
+  if (n_bits == 0) return 0;
+  const uint64_t h = hash(kKindCorruptBit, link_id(src, dst), seq,
+                          static_cast<uint64_t>(attempt));
+  return h % n_bits;
+}
+
+double FaultPlan::straggler_delay(int rank, int epoch, int64_t iter) const {
+  if (spec_.straggler_prob <= 0.0 || spec_.straggler_delay_s <= 0.0) return 0.0;
+  if (spec_.straggler_rank >= 0 && rank != spec_.straggler_rank) return 0.0;
+  const uint64_t h = hash(kKindStraggler, static_cast<uint64_t>(rank),
+                          static_cast<uint64_t>(epoch),
+                          static_cast<uint64_t>(iter));
+  return unit(h) < spec_.straggler_prob ? spec_.straggler_delay_s : 0.0;
+}
+
+bool FaultPlan::round_skipped(int epoch, int64_t iter) const {
+  if (spec_.skip_round_prob <= 0.0) return false;
+  const uint64_t h = hash(kKindSkipRound, static_cast<uint64_t>(epoch),
+                          static_cast<uint64_t>(iter), 0);
+  return unit(h) < spec_.skip_round_prob;
+}
+
+std::string fault_spec_json(const FaultSpec& s) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "{\"seed\":" << s.seed << ",\"drop_prob\":" << s.drop_prob
+     << ",\"corrupt_prob\":" << s.corrupt_prob
+     << ",\"max_retries\":" << s.max_retries
+     << ",\"retry_timeout_s\":" << s.retry_timeout_s
+     << ",\"straggler_prob\":" << s.straggler_prob
+     << ",\"straggler_delay_s\":" << s.straggler_delay_s
+     << ",\"straggler_rank\":" << s.straggler_rank
+     << ",\"skip_round_prob\":" << s.skip_round_prob
+     << ",\"crash_rank\":" << s.crash_rank
+     << ",\"crash_epoch\":" << s.crash_epoch
+     << ",\"crash_iter\":" << s.crash_iter << "}";
+  return os.str();
+}
+
+namespace {
+
+// Minimal scanner for the flat {"key": number, ...} objects produced by
+// fault_spec_json. Deliberately strict: unknown keys, nesting, strings and
+// trailing garbage all throw, so a typoed plan fails loudly instead of
+// silently running healthy.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& text) : text_(text) {}
+
+  void parse_into(FaultSpec& spec) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++at_;
+    } else {
+      for (;;) {
+        const std::string key = parse_key();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        const double value = parse_number();
+        assign(spec, key, value);
+        skip_ws();
+        const char c = next();
+        if (c == '}') break;
+        if (c != ',') fail("expected ',' or '}'");
+        skip_ws();
+      }
+    }
+    skip_ws();
+    if (at_ != text_.size()) fail("trailing characters after object");
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("fault plan JSON: " + why + " at offset " +
+                                std::to_string(at_));
+  }
+  char peek() const { return at_ < text_.size() ? text_[at_] : '\0'; }
+  char next() {
+    if (at_ >= text_.size()) fail("unexpected end of input");
+    return text_[at_++];
+  }
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (at_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[at_])) != 0) {
+      ++at_;
+    }
+  }
+  std::string parse_key() {
+    expect('"');
+    std::string key;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return key;
+      key.push_back(c);
+    }
+  }
+  double parse_number() {
+    const char* begin = text_.c_str() + at_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number");
+    at_ += static_cast<size_t>(end - begin);
+    return v;
+  }
+  void assign(FaultSpec& s, const std::string& key, double v) {
+    if (key == "seed") {
+      s.seed = static_cast<uint64_t>(v);
+    } else if (key == "drop_prob") {
+      s.drop_prob = v;
+    } else if (key == "corrupt_prob") {
+      s.corrupt_prob = v;
+    } else if (key == "max_retries") {
+      s.max_retries = static_cast<int>(v);
+    } else if (key == "retry_timeout_s") {
+      s.retry_timeout_s = v;
+    } else if (key == "straggler_prob") {
+      s.straggler_prob = v;
+    } else if (key == "straggler_delay_s") {
+      s.straggler_delay_s = v;
+    } else if (key == "straggler_rank") {
+      s.straggler_rank = static_cast<int>(v);
+    } else if (key == "skip_round_prob") {
+      s.skip_round_prob = v;
+    } else if (key == "crash_rank") {
+      s.crash_rank = static_cast<int>(v);
+    } else if (key == "crash_epoch") {
+      s.crash_epoch = static_cast<int>(v);
+    } else if (key == "crash_iter") {
+      s.crash_iter = static_cast<int64_t>(v);
+    } else {
+      fail("unknown key \"" + key + "\"");
+    }
+  }
+
+  const std::string& text_;
+  size_t at_ = 0;
+};
+
+}  // namespace
+
+FaultSpec parse_fault_spec_json(const std::string& text) {
+  FaultSpec spec;
+  FlatJsonParser(text).parse_into(spec);
+  return spec;
+}
+
+}  // namespace grace::faults

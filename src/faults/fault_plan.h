@@ -1,0 +1,97 @@
+// Deterministic chaos plans (docs/RESILIENCE.md). A FaultSpec is the
+// user-facing description of a fault scenario — drop/corruption rates,
+// straggler schedule, skip-round rate, one optional permanent crash — with
+// a flat JSON round-trip so plans travel as files (`bench_e2e
+// --faults=plan.json`). A FaultPlan turns a spec into pure decision
+// functions: every outcome is a hash of (spec.seed, identifiers), never of
+// wall clock or call order, so a run under a plan replays bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grace::faults {
+
+// Message::fault values for staged failed delivery attempts.
+inline constexpr uint8_t kAttemptDropped = 1;  // lost in transit, timeout
+inline constexpr uint8_t kAttemptCorrupt = 2;  // arrived bit-flipped, NACK
+
+// What the trainer does when the planned crash fires.
+enum class CrashPolicy {
+  Continue,  // survivors shrink to an (n-1)-rank world and keep training
+  Halt,      // the whole run stops at the crash boundary
+};
+
+struct FaultSpec {
+  uint64_t seed = 1;
+
+  // Link faults, applied per delivery attempt on every point-to-point
+  // message (collective internals included).
+  double drop_prob = 0.0;     // attempt vanishes; receiver times out
+  double corrupt_prob = 0.0;  // attempt arrives with one flipped bit
+  int max_retries = 8;        // attempt max_retries always delivers
+  double retry_timeout_s = 1e-3;  // simulated wait before the first retry;
+                                  // doubles per retry (exponential backoff)
+
+  // Stragglers: a per-(rank, iteration) simulated stall.
+  double straggler_prob = 0.0;
+  double straggler_delay_s = 0.0;
+  int straggler_rank = -1;  // -1: any rank can straggle
+
+  // Degraded rounds: the whole exchange of an iteration is lost; workers
+  // carry their gradients in the error-feedback residual instead.
+  double skip_round_prob = 0.0;
+
+  // Permanent crash: `crash_rank` exits just before iteration
+  // (crash_epoch, crash_iter). Rank 0 must survive (it owns evaluation and
+  // run bookkeeping), so crash_rank == 0 is rejected. -1 disables.
+  int crash_rank = -1;
+  int crash_epoch = 0;
+  int64_t crash_iter = 0;
+
+  bool has_crash() const { return crash_rank >= 0; }
+};
+
+// Flat-JSON round-trip: {"seed":1,"drop_prob":0.1,...}. Unknown keys and
+// malformed input throw std::invalid_argument; absent keys keep defaults.
+std::string fault_spec_json(const FaultSpec& spec);
+FaultSpec parse_fault_spec_json(const std::string& text);
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  // Validates the spec (probabilities in [0,1], non-negative delays,
+  // max_retries >= 1, crash_rank != 0); throws std::invalid_argument.
+  explicit FaultPlan(const FaultSpec& spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  // Outcome of delivery attempt `attempt` of the `seq`-th message on the
+  // src->dst link: 0 = delivered, else kAttemptDropped / kAttemptCorrupt.
+  // The last allowed attempt (== spec.max_retries) always delivers, so
+  // collectives terminate under any drop rate.
+  uint8_t attempt_outcome(int src, int dst, uint64_t seq, int attempt) const;
+  // Which bit a corrupted attempt flips, in [0, n_bits).
+  uint64_t corrupt_bit(int src, int dst, uint64_t seq, int attempt,
+                       uint64_t n_bits) const;
+  // Simulated straggler stall injected into (rank, epoch, iter); 0 when
+  // the rank is healthy there.
+  double straggler_delay(int rank, int epoch, int64_t iter) const;
+  // True when the exchange round of (epoch, iter) is lost for all ranks.
+  bool round_skipped(int epoch, int64_t iter) const;
+
+  bool has_crash() const { return spec_.has_crash(); }
+  // True exactly at the crash boundary (the crashing rank exits before
+  // running this iteration).
+  bool crash_at(int epoch, int64_t iter) const {
+    return spec_.has_crash() && epoch == spec_.crash_epoch &&
+           iter == spec_.crash_iter;
+  }
+
+ private:
+  uint64_t hash(uint64_t kind, uint64_t a, uint64_t b, uint64_t c) const;
+
+  FaultSpec spec_;
+};
+
+}  // namespace grace::faults

@@ -1,0 +1,64 @@
+// The runtime half of the fault subsystem: implements comm::LinkFaults
+// over a FaultPlan. Senders stage flagged failed-delivery attempts ahead
+// of every clean payload (a dropped attempt is an empty tombstone carrying
+// its byte count; a corrupt attempt is a real bit-flipped copy of a
+// CRC-framed blob); receivers discard the flagged attempts, really
+// CRC-check the corrupt ones, and charge the simulated retry cost —
+// timeout with exponential backoff for drops, NACK + retransmission for
+// corruptions — to per-rank stall accumulators the trainer drains every
+// iteration. Determinism: outcomes key off per-link sequence counters,
+// each written only by its sender thread. See docs/RESILIENCE.md.
+#pragma once
+
+#include <vector>
+
+#include "comm/network_model.h"
+#include "comm/world.h"
+#include "faults/counters.h"
+#include "faults/fault_plan.h"
+
+namespace grace::faults {
+
+class FaultInjector final : public comm::LinkFaults {
+ public:
+  // `plan` is borrowed and must outlive the injector; `n_ranks` sizes the
+  // per-rank slots (a shrunk post-crash world reuses the low slots).
+  FaultInjector(const FaultPlan* plan, const comm::NetworkModel& net,
+                int n_ranks);
+
+  void stage_attempts(comm::World& world, int src, int dst, int tag,
+                      const Tensor& payload) override;
+  void on_failed_attempt(int receiver, const comm::Message& attempt) override;
+  double recv_deadline_s() const override { return liveness_deadline_s_; }
+
+  // Liveness guard only (real time, not simulated); generous by default so
+  // slow CI boxes never trip it on a healthy run.
+  void set_liveness_deadline(double seconds) { liveness_deadline_s_ = seconds; }
+
+  // Simulated fault-stall seconds `rank` accumulated since the last drain.
+  // Single consumer per slot: the rank's own worker thread.
+  double drain_stall(int rank);
+
+  const FaultCounters& rank_counters(int rank) const {
+    return ranks_.at(static_cast<size_t>(rank)).counters;
+  }
+  // Link-layer totals, folded over ranks in ascending order.
+  FaultCounters totals() const;
+
+ private:
+  // One cache line per rank: counters and the stall accumulator are written
+  // by that rank's thread only; link_seq[dst] counts sends src->dst and is
+  // written by the src thread only.
+  struct alignas(64) RankSlot {
+    FaultCounters counters;
+    double pending_stall_s = 0.0;
+    std::vector<uint64_t> link_seq;
+  };
+
+  const FaultPlan* plan_;
+  comm::NetworkModel net_;
+  double liveness_deadline_s_ = 30.0;
+  std::vector<RankSlot> ranks_;
+};
+
+}  // namespace grace::faults

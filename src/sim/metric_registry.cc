@@ -21,6 +21,20 @@ double histogram_bucket_value(int bucket) {
   return std::ldexp(std::sqrt(2.0), bucket - 1);
 }
 
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
+}
+
 double HistogramSnapshot::percentile(double q) const {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
@@ -107,28 +121,20 @@ std::vector<HistogramSnapshot> MetricRegistry::histograms() const {
     for (const Hist& h : slot.hists) {
       auto it = std::find_if(out.begin(), out.end(),
                              [&](const HistogramSnapshot& s) { return s.name == h.name; });
+      HistogramSnapshot s;
+      s.name = h.name;
+      s.count = h.count;
+      s.sum = h.sum;
+      s.min = h.min;
+      s.max = h.max;
+      s.buckets = h.buckets;
       if (it == out.end()) {
-        HistogramSnapshot s;
-        s.name = h.name;
-        s.count = h.count;
-        s.sum = h.sum;
-        s.min = h.min;
-        s.max = h.max;
-        s.buckets = h.buckets;
         out.push_back(std::move(s));
       } else {
-        if (h.count > 0) {
-          if (it->count == 0) {
-            it->min = h.min;
-            it->max = h.max;
-          } else {
-            it->min = std::min(it->min, h.min);
-            it->max = std::max(it->max, h.max);
-          }
-        }
-        it->count += h.count;
-        it->sum += h.sum;
-        for (size_t b = 0; b < it->buckets.size(); ++b) it->buckets[b] += h.buckets[b];
+        // Count-weighted pooling: a rank that recorded only a handful of
+        // samples before dying contributes exactly its samples, nothing
+        // more (HistogramSnapshot::merge).
+        it->merge(s);
       }
     }
   }

@@ -46,6 +46,13 @@ struct HistogramSnapshot {
   // midpoint of the bucket containing the q-th sample, clamped to the
   // exact [min, max] envelope. q=0 -> min, q=1 -> max.
   double percentile(double q) const;
+
+  // Count-weighted absorption of another snapshot of the same metric: the
+  // result describes the pooled sample set exactly (bucket counts add,
+  // envelopes widen), so merging a rank that died after 5 observations
+  // into one that made 10000 cannot skew percentiles the way averaging
+  // per-rank quantiles would. Either side may be empty (count == 0).
+  void merge(const HistogramSnapshot& other);
 };
 
 class MetricRegistry {

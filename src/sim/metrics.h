@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/counters.h"
 #include "sim/fidelity.h"
 #include "sim/metric_registry.h"
 
@@ -30,10 +31,12 @@ struct PhaseBreakdown {
   double comm_s = 0.0;        // simulated collective time
   double decompress_s = 0.0;  // measured Q^-1 over received payloads
   double optimizer_s = 0.0;   // simulated device time of the update step
+  double stall_s = 0.0;       // slowest rank's simulated fault stall
+                              // (retries + stragglers); 0 without a plan
 
   double total_s() const {
     return forward_s + backward_s + compress_s + comm_s + decompress_s +
-           optimizer_s;
+           optimizer_s + stall_s;
   }
 };
 
@@ -107,6 +110,15 @@ struct RunResult {
   int64_t model_parameters = 0;
   int64_t gradient_tensors = 0;
   bool replicas_in_sync = true;
+
+  // Resilience accounting (src/faults); all-zero when no FaultPlan was
+  // installed.
+  faults::FaultCounters faults;
+  // Rank 0's flattened parameter values at run end, plus their CRC32: the
+  // cheap handle for "two runs produced identical final weights" checks
+  // (the JSON export carries only the CRC).
+  std::vector<float> final_parameters;
+  uint32_t parameters_crc32 = 0;
 };
 
 }  // namespace grace::sim

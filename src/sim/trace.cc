@@ -28,6 +28,7 @@ const char* phase_name(Phase p) {
     case Phase::Comm: return "comm";
     case Phase::Decompress: return "decompress";
     case Phase::Optimizer: return "optimizer";
+    case Phase::Fault: return "fault";
   }
   return "unknown";
 }
@@ -93,7 +94,8 @@ std::string run_result_json(const RunResult& r) {
      << ",\"compress\":" << r.phases.compress_s
      << ",\"comm\":" << r.phases.comm_s
      << ",\"decompress\":" << r.phases.decompress_s
-     << ",\"optimizer\":" << r.phases.optimizer_s << '}';
+     << ",\"optimizer\":" << r.phases.optimizer_s
+     << ",\"stall\":" << r.phases.stall_s << '}';
   os << ",\"iteration_seconds\":" << r.phases.total_s();
   os << ",\"wire_bytes_per_iter\":" << r.wire_bytes_per_iter;
   os << ",\"throughput\":" << r.throughput;
@@ -109,6 +111,19 @@ std::string run_result_json(const RunResult& r) {
   os << ",\"model_parameters\":" << r.model_parameters;
   os << ",\"gradient_tensors\":" << r.gradient_tensors;
   os << ",\"replicas_in_sync\":" << (r.replicas_in_sync ? "true" : "false");
+  os << ",\"parameters_crc32\":" << r.parameters_crc32;
+  os << ",\"faults\":{";
+  os << "\"attempts_staged\":" << r.faults.attempts_staged
+     << ",\"drops_detected\":" << r.faults.drops_detected
+     << ",\"corruptions_detected\":" << r.faults.corruptions_detected
+     << ",\"retries\":" << r.faults.retries
+     << ",\"retransmitted_bytes\":" << r.faults.retransmitted_bytes
+     << ",\"retry_stall_seconds\":" << r.faults.retry_stall_s
+     << ",\"straggler_events\":" << r.faults.straggler_events
+     << ",\"straggler_stall_seconds\":" << r.faults.straggler_stall_s
+     << ",\"rounds_skipped\":" << r.faults.rounds_skipped
+     << ",\"crashed_ranks\":" << r.faults.crashed_ranks
+     << ",\"degraded_iters\":" << r.faults.degraded_iters << '}';
   os << ",\"trace_events_dropped\":" << r.trace_events_dropped;
   os << ",\"tensors\":[";
   for (size_t i = 0; i < r.tensor_trace.size(); ++i) {

@@ -22,6 +22,9 @@ struct RunResult;
 //   Comm             — simulated collective time (NetworkModel)
 //   Decompress       — measured kernel CPU time over received payloads
 //   Optimizer        — simulated device time of the parameter update
+//   Fault            — simulated stall injected by the fault subsystem
+//                      (retry timeouts, retransmits, straggler delays);
+//                      present only when a FaultPlan is installed
 enum class Phase : uint8_t {
   Forward = 0,
   Backward,
@@ -29,8 +32,9 @@ enum class Phase : uint8_t {
   Comm,
   Decompress,
   Optimizer,
+  Fault,
 };
-inline constexpr size_t kNumPhases = 6;
+inline constexpr size_t kNumPhases = 7;
 
 const char* phase_name(Phase p);
 

@@ -4,15 +4,18 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 
 #include "comm/collectives.h"
 #include "core/registry.h"
+#include "faults/injector.h"
 #include "runtime/thread_pool.h"
 #include "sim/fidelity.h"
 #include "sim/metric_registry.h"
 #include "sim/trace.h"
 #include "tensor/ops.h"
+#include "util/crc32.h"
 
 namespace grace::sim {
 namespace {
@@ -22,8 +25,19 @@ struct WorkerLog {
   std::vector<double> compress_s;     // measured compress + memory update
   std::vector<double> decompress_s;   // measured Q^-1 over received payloads
   std::vector<double> comm_s;         // simulated comm per iter
+  std::vector<double> stall_s;        // simulated fault stall per iter
   std::vector<uint64_t> wire_bytes;   // logical bytes per iter
   std::vector<bool> sync_ok;          // per epoch
+  // Per-epoch iteration counts (rank 0 only; epochs shrink after a crash).
+  std::vector<int64_t> epoch_iters;
+  // Trainer-level fault tallies. rounds_skipped / degraded_iters are
+  // run-wide facts counted once, on rank 0; straggler fields are this
+  // rank's own.
+  uint64_t rounds_skipped = 0;
+  uint64_t degraded_iters = 0;
+  uint64_t straggler_events = 0;
+  double straggler_stall_s = 0.0;
+  bool crashed = false;  // this rank was the plan's casualty
 };
 
 // The epoch's global sample order; identical on every worker because the
@@ -44,6 +58,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   std::vector<WorkerLog> logs(static_cast<size_t>(n));
   std::vector<models::EvalResult> evals;   // written by rank 0 only
   std::vector<int> eval_epochs;
+  std::vector<float> final_params;         // written by rank 0 only
   RunResult result;
 
   // Peek at the model to size the run (rank 0 builds another replica below).
@@ -73,6 +88,50 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
 
   const int64_t global_batch = static_cast<int64_t>(n) * cfg.batch_per_worker;
 
+  // Fault-plan setup: validate the crash coordinates against this run's
+  // schedule, install the injector on the world, and pre-build the shrunk
+  // world the survivors hand off to (docs/RESILIENCE.md).
+  const faults::FaultPlan* const plan = cfg.faults;
+  std::unique_ptr<faults::FaultInjector> injector;
+  std::unique_ptr<faults::FaultInjector> shrunk_injector;
+  std::unique_ptr<comm::World> shrunk;
+  if (plan != nullptr) {
+    const faults::FaultSpec& spec = plan->spec();
+    const bool crash_fires = spec.has_crash() &&
+                             spec.crash_epoch >= cfg.start_epoch &&
+                             spec.crash_epoch < cfg.start_epoch + cfg.epochs;
+    if (crash_fires) {
+      if (n < 2) {
+        throw std::invalid_argument(
+            "TrainConfig: a crash plan needs at least 2 workers");
+      }
+      if (spec.crash_rank >= n) {
+        throw std::invalid_argument("TrainConfig: crash_rank out of range");
+      }
+      const int64_t iters = std::max<int64_t>(1, probe_train_n / global_batch);
+      if (spec.crash_iter >= iters) {
+        throw std::invalid_argument(
+            "TrainConfig: crash_iter is beyond the crash epoch's iteration "
+            "count");
+      }
+    }
+    injector = std::make_unique<faults::FaultInjector>(plan, cfg.net, n);
+    world.install_faults(injector.get());
+    if (crash_fires && cfg.crash_policy == faults::CrashPolicy::Continue) {
+      // The shrunk world gets its own injector: survivor live-ranks would
+      // otherwise collide with pre-crash physical ranks in the slot space
+      // (live rank crash_rank is a *different thread* than physical rank
+      // crash_rank), racing on stall accumulators around the hand-off.
+      // Fresh per-link sequence counters are equally deterministic.
+      comm::NetworkModel shrunk_net = cfg.net;
+      shrunk_net.n_workers = n - 1;
+      shrunk_injector =
+          std::make_unique<faults::FaultInjector>(plan, shrunk_net, n - 1);
+      shrunk = std::make_unique<comm::World>(n - 1);
+      shrunk->install_faults(shrunk_injector.get());
+    }
+  }
+
   const bool compressing =
       core::parse_spec(cfg.grace.compressor_spec).name != "none";
 
@@ -97,10 +156,9 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     auto optimizer = optim::make_optimizer(cfg.optimizer);
     Rng batch_rng(cfg.seed * 104729ULL + static_cast<uint64_t>(rank));
     WorkerLog& log = logs[static_cast<size_t>(rank)];
-    auto comm = world.comm(rank);
+    comm::Comm comm = world.comm(rank);
 
     const int64_t train_n = model->train_size();
-    const int64_t iters_per_epoch = std::max<int64_t>(1, train_n / global_batch);
     const int64_t tensors_per_iter =
         cfg.fuse_tensors ? 1
                          : static_cast<int64_t>(model->module().parameters().size());
@@ -113,6 +171,14 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       fused = Tensor::zeros(Shape{{model->module().num_parameters()}});
     }
     std::vector<int64_t> wrapped;  // slice buffer when the batch wraps
+
+    // Live-world view; changes once if the planned crash shrinks the world.
+    int live_n = n;
+    int live_rank = rank;
+    int64_t live_global_batch = global_batch;
+    faults::FaultInjector* live_injector = injector.get();
+    bool crashed_out = false;  // this worker is the plan's casualty
+    bool halted = false;       // CrashPolicy::Halt fired
 
     auto record = [&](int epoch, int64_t it, Phase phase, int32_t tensor,
                       double seconds, uint64_t bytes) {
@@ -146,12 +212,51 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
                        static_cast<double>(s.wire_bytes));
     };
 
-    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (int e0 = 0; e0 < cfg.epochs && !crashed_out && !halted; ++e0) {
+      const int epoch = cfg.start_epoch + e0;
       if (cfg.lr_decay_every > 0 && epoch > 0 && epoch % cfg.lr_decay_every == 0) {
         optimizer->set_lr(optimizer->lr() * cfg.lr_decay_factor);
       }
       const auto order = epoch_order(train_n, cfg.seed, epoch);
+      // The data partition is fixed at epoch start. A mid-epoch crash keeps
+      // these positions — survivors finish the epoch on the old schedule
+      // with the dead rank's slices simply dropped (degraded rounds) — and
+      // only the next epoch re-partitions over the survivors.
+      const int sched_rank = live_rank;
+      const int64_t sched_global_batch = live_global_batch;
+      const int64_t iters_per_epoch =
+          std::max<int64_t>(1, train_n / sched_global_batch);
+      int64_t iters_done = 0;
       for (int64_t it = 0; it < iters_per_epoch; ++it) {
+        if (plan != nullptr && plan->crash_at(epoch, it) && live_n == n) {
+          if (cfg.crash_policy == faults::CrashPolicy::Halt) {
+            halted = true;
+            break;
+          }
+          if (rank == plan->spec().crash_rank) {
+            // The casualty exits at the iteration boundary: it completed
+            // iteration it-1 including all of its sends (mailbox puts never
+            // block), so the survivors are owed nothing. Its undrained
+            // stall dies with it (nobody reads that slot until the threads
+            // have joined).
+            log.crashed = true;
+            crashed_out = true;
+            break;
+          }
+          // Survivor hand-off: rebind onto the pre-built (n-1)-rank world
+          // (with its own injector — see the setup note) under contiguous
+          // renumbering; compressor and error-feedback state carry over
+          // untouched.
+          live_n = n - 1;
+          live_rank = rank > plan->spec().crash_rank ? rank - 1 : rank;
+          live_global_batch =
+              static_cast<int64_t>(live_n) * cfg.batch_per_worker;
+          live_injector = shrunk_injector.get();
+          comm = shrunk->comm(live_rank);
+          comm::NetworkModel live_net = cfg.net;
+          live_net.n_workers = live_n;
+          grace.rebind(comm, live_net);
+        }
         if (fidelity) {
           // Sample every K-th iteration: attach the probe to this worker's
           // exchanges for exactly the sampled iterations.
@@ -160,7 +265,8 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
                   ? fidelity
                   : nullptr);
         }
-        const int64_t base = it * global_batch + static_cast<int64_t>(rank) * cfg.batch_per_worker;
+        const int64_t base = it * sched_global_batch +
+                             static_cast<int64_t>(sched_rank) * cfg.batch_per_worker;
         std::span<const int64_t> slice;
         if (base + cfg.batch_per_worker <= train_n) {
           slice = std::span<const int64_t>(
@@ -183,8 +289,29 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
           record(epoch, it, Phase::Backward, -1, backward_iter_s, 0);
         }
 
+        const bool skip_round = plan != nullptr && plan->round_skipped(epoch, it);
         core::ExchangeStats stats;
-        if (cfg.fuse_tensors) {
+        if (skip_round) {
+          // Degraded round: the exchange is lost on every rank. Fold the
+          // computed gradients into the error-feedback residual so the
+          // work feeds the next round; no optimizer step (replicas remain
+          // identical because everyone skips the same rounds).
+          if (cfg.fuse_tensors) {
+            auto flat = fused.f32();
+            size_t at = 0;
+            for (auto& p : model->module().parameters()) {
+              ops::copy(flat.subspan(at, static_cast<size_t>(p.value->grad.numel())),
+                        p.value->grad.f32());
+              at += static_cast<size_t>(p.value->grad.numel());
+            }
+            grace.absorb(fused, "fused");
+          } else {
+            for (auto& p : model->module().parameters()) {
+              grace.absorb(p.value->grad, p.name);
+            }
+          }
+          if (rank == 0) ++log.rounds_skipped;
+        } else if (cfg.fuse_tensors) {
           // Horovod-style bucketing: one exchange for the concatenation of
           // all gradient tensors, then per-tensor optimizer updates.
           auto flat = fused.f32();
@@ -220,6 +347,26 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
           }
         }
         if (trace) record(epoch, it, Phase::Optimizer, -1, optimizer_s, 0);
+
+        // Fault stall: the straggler delay this plan assigns to (rank,
+        // epoch, it) plus every simulated retry charge this rank's
+        // receives accumulated during the exchanges above.
+        double stall = 0.0;
+        if (plan != nullptr) {
+          const double delay = plan->straggler_delay(rank, epoch, it);
+          if (delay > 0.0) {
+            ++log.straggler_events;
+            log.straggler_stall_s += delay;
+            stall += delay;
+          }
+          stall += live_injector->drain_stall(live_rank);
+          if (stall > 0.0) {
+            if (trace) record(epoch, it, Phase::Fault, -1, stall, 0);
+            if (metrics) metrics->observe(rank, "fault.stall_ns", stall * 1e9);
+          }
+          if (rank == 0 && live_n < n) ++log.degraded_iters;
+        }
+
         log.losses.push_back(loss);
         log.compress_s.push_back(
             stats.compress_seconds * cfg.time.compression_time_scale +
@@ -227,27 +374,41 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
         log.decompress_s.push_back(
             stats.decompress_seconds * cfg.time.compression_time_scale);
         log.comm_s.push_back(stats.comm_seconds);
+        log.stall_s.push_back(stall);
         log.wire_bytes.push_back(stats.wire_bytes);
+        ++iters_done;
       }
+      if (rank == 0 && iters_done > 0) log.epoch_iters.push_back(iters_done);
+      if (crashed_out || halted) break;
 
       if (cfg.check_sync) {
         // All replicas must hold identical parameters: allreduce the sum of
-        // all parameter values and compare against n * local.
+        // all parameter values and compare against live_n * local.
         float checksum = 0.0f;
         for (auto& p : model->module().parameters()) {
           checksum += ops::sum(p.value->data.f32());
         }
         float global = checksum;
         comm::allreduce_sum(comm, std::span<float>(&global, 1), /*tag=*/-epoch - 1);
-        const float expect = checksum * static_cast<float>(n);
+        const float expect = checksum * static_cast<float>(live_n);
         const float tol = 1e-4f * (1.0f + std::fabs(expect));
         log.sync_ok.push_back(std::fabs(global - expect) <= tol);
       }
 
       if (rank == 0 &&
-          (epoch % cfg.eval_every == 0 || epoch == cfg.epochs - 1)) {
+          (epoch % cfg.eval_every == 0 || e0 == cfg.epochs - 1)) {
         evals.push_back(model->evaluate());
         eval_epochs.push_back(epoch);
+      }
+    }
+
+    if (rank == 0) {
+      // Snapshot the final weights: the cheap handle for bit-identical
+      // replay checks and crash hand-off equivalence tests.
+      final_params.reserve(static_cast<size_t>(model->module().num_parameters()));
+      for (auto& p : model->module().parameters()) {
+        auto v = p.value->data.f32();
+        final_params.insert(final_params.end(), v.begin(), v.end());
       }
     }
   };
@@ -266,26 +427,35 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
 
   // --- Post-processing (single-threaded) ---
   const auto total_iters = static_cast<int64_t>(logs[0].losses.size());
-  const int64_t iters_per_epoch = cfg.epochs > 0 ? total_iters / cfg.epochs : 0;
+  // Rank 0 runs every iteration of the run (crash_rank 0 is rejected), so
+  // its per-epoch counts are the run's ground-truth schedule; epochs can
+  // have different lengths once a crash shrinks the world.
+  const std::vector<int64_t>& epoch_iters = logs[0].epoch_iters;
+  const int64_t first_epoch_iters = epoch_iters.empty() ? 0 : epoch_iters.front();
 
   // Epoch sample accounting (the epoch tail never enters an iteration when
-  // the dataset size is not a multiple of the global batch).
-  result.samples_per_epoch = iters_per_epoch * global_batch;
+  // the dataset size is not a multiple of the global batch). Quoted for the
+  // schedule at run start; post-crash epochs cover more samples per iter.
+  result.samples_per_epoch = first_epoch_iters * global_batch;
   result.samples_dropped_per_epoch =
       std::max<int64_t>(0, probe_train_n - result.samples_per_epoch);
 
   // Per-iteration simulated time: compute + the slowest worker's measured
   // compression overhead + simulated comm (identical across workers) + the
-  // simulated optimizer step.
+  // simulated optimizer step + the slowest worker's fault stall. A crashed
+  // rank's log just ends early; iterations after its death take the max
+  // over the survivors.
   std::vector<double> iter_seconds(static_cast<size_t>(total_iters));
   double compress_sum = 0.0, decompress_sum = 0.0, comm_sum = 0.0,
-         bytes_sum = 0.0;
+         stall_sum = 0.0, bytes_sum = 0.0;
   for (int64_t it = 0; it < total_iters; ++it) {
     // The slowest worker this iteration sets the compression overhead; use
     // that worker's compress/decompress split so the phase columns sum to
     // exactly the charged overhead.
     double max_overhead = 0.0, max_compress = 0.0, max_decompress = 0.0;
+    double max_stall = 0.0;
     for (const auto& log : logs) {
+      if (static_cast<size_t>(it) >= log.losses.size()) continue;  // rank died
       const double c = log.compress_s[static_cast<size_t>(it)];
       const double d = log.decompress_s[static_cast<size_t>(it)];
       if (c + d >= max_overhead) {
@@ -293,13 +463,15 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
         max_compress = c;
         max_decompress = d;
       }
+      max_stall = std::max(max_stall, log.stall_s[static_cast<size_t>(it)]);
     }
     const double comm = logs[0].comm_s[static_cast<size_t>(it)];
     iter_seconds[static_cast<size_t>(it)] =
-        result.compute_s + max_overhead + comm + optimizer_s;
+        result.compute_s + max_overhead + comm + optimizer_s + max_stall;
     compress_sum += max_compress;
     decompress_sum += max_decompress;
     comm_sum += comm;
+    stall_sum += max_stall;
     bytes_sum += static_cast<double>(logs[0].wire_bytes[static_cast<size_t>(it)]);
   }
   if (total_iters > 0) {
@@ -313,6 +485,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     result.phases.comm_s = result.comm_s;
     result.phases.decompress_s = decompress_sum / iters;
     result.phases.optimizer_s = optimizer_s;
+    result.phases.stall_s = stall_sum / iters;
   }
 
   // Steady-state throughput over the trailing window (paper: last 100 iters).
@@ -329,15 +502,19 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   // Epoch records: loss averages from worker 0, quality from evaluations.
   double cum = 0.0;
   size_t eval_at = 0;
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  int64_t at = 0;
+  for (size_t e = 0; e < epoch_iters.size(); ++e) {
+    const int epoch = cfg.start_epoch + static_cast<int>(e);
     EpochRecord rec;
     rec.epoch = epoch;
+    const int64_t count = epoch_iters[e];
     double loss = 0.0, epoch_time = 0.0;
-    for (int64_t it = epoch * iters_per_epoch; it < (epoch + 1) * iters_per_epoch; ++it) {
+    for (int64_t it = at; it < at + count; ++it) {
       loss += logs[0].losses[static_cast<size_t>(it)];
       epoch_time += iter_seconds[static_cast<size_t>(it)];
     }
-    rec.train_loss = iters_per_epoch ? loss / static_cast<double>(iters_per_epoch) : 0.0;
+    at += count;
+    rec.train_loss = count > 0 ? loss / static_cast<double>(count) : 0.0;
     rec.epoch_sim_seconds = epoch_time;
     cum += epoch_time;
     rec.cum_sim_seconds = cum;
@@ -362,6 +539,51 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   // Physical transport counters across all ranks and collectives.
   result.comm_messages = world.messages_sent();
   result.comm_payload_bytes = world.payload_bytes_sent();
+
+  // Resilience accounting: fold the injector's link-layer totals with the
+  // trainer-level tallies, and mirror everything into the metric registry
+  // (before its snapshot below) so fault counters ride the same export
+  // path as the exchange metrics.
+  if (plan != nullptr) {
+    result.faults = injector->totals();
+    if (shrunk_injector) result.faults += shrunk_injector->totals();
+    for (const auto& log : logs) {
+      result.faults.straggler_events += log.straggler_events;
+      result.faults.straggler_stall_s += log.straggler_stall_s;
+      if (log.crashed) ++result.faults.crashed_ranks;
+    }
+    result.faults.rounds_skipped = logs[0].rounds_skipped;
+    result.faults.degraded_iters = logs[0].degraded_iters;
+    if (metrics) {
+      for (int r = 0; r < n; ++r) {
+        faults::FaultCounters c = injector->rank_counters(r);
+        if (shrunk_injector && r != plan->spec().crash_rank) {
+          c += shrunk_injector->rank_counters(
+              r > plan->spec().crash_rank ? r - 1 : r);
+        }
+        if (c.attempts_staged) {
+          metrics->inc(r, "fault.attempts_staged", c.attempts_staged);
+        }
+        if (c.drops_detected) {
+          metrics->inc(r, "fault.drops_detected", c.drops_detected);
+        }
+        if (c.corruptions_detected) {
+          metrics->inc(r, "fault.corruptions_detected", c.corruptions_detected);
+        }
+        if (c.retries) metrics->inc(r, "fault.retries", c.retries);
+        const WorkerLog& log = logs[static_cast<size_t>(r)];
+        if (log.straggler_events) {
+          metrics->inc(r, "fault.straggler_events", log.straggler_events);
+        }
+      }
+      if (result.faults.rounds_skipped) {
+        metrics->inc(0, "fault.rounds_skipped", result.faults.rounds_skipped);
+      }
+      if (result.faults.crashed_ranks) {
+        metrics->inc(0, "fault.crashed_ranks", result.faults.crashed_ranks);
+      }
+    }
+  }
 
   // Aggregate rank 0's per-tensor trace events into run summaries.
   if (trace) {
@@ -401,6 +623,10 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     result.metric_counters = metrics->counters();
     result.metric_histograms = metrics->histograms();
   }
+
+  result.final_parameters = std::move(final_params);
+  result.parameters_crc32 = util::crc32(
+      std::as_bytes(std::span<const float>(result.final_parameters)));
 
   result.error_feedback =
       core::GraceWorker(cfg.grace, world.comm(0), cfg.net, 0)

@@ -9,6 +9,7 @@
 
 #include "comm/network_model.h"
 #include "core/grace_world.h"
+#include "faults/fault_plan.h"
 #include "models/model.h"
 #include "optim/optimizer.h"
 #include "sim/metrics.h"
@@ -63,6 +64,25 @@ struct TrainConfig {
   // them into RunResult::metric_counters / metric_histograms. When null
   // the cost is one branch per exchange.
   MetricRegistry* metrics = nullptr;
+  // Optional deterministic fault plan (src/faults, docs/RESILIENCE.md; not
+  // owned). When set, the trainer installs a FaultInjector on the World
+  // (message drops / corruption with simulated retries), injects straggler
+  // stalls and skipped rounds, executes the planned crash, and reports
+  // FaultCounters in RunResult::faults. When null — the default — runs are
+  // bit-identical to a build without the subsystem; the fault path costs
+  // one branch per message.
+  const faults::FaultPlan* faults = nullptr;
+  // Degraded mode when the plan's crash fires: Continue shrinks the world
+  // to the n-1 survivors (compressor + error-feedback state carry over,
+  // the next epoch re-partitions data over the survivors); Halt ends the
+  // run at the crash boundary. Ignored without a crash in the plan.
+  faults::CrashPolicy crash_policy = faults::CrashPolicy::Continue;
+  // Epoch numbering offset: epoch e of this run uses the shuffle order,
+  // lr-decay boundaries and fault schedule of epoch start_epoch + e, so a
+  // run resumed from saved weights replays the tail of a longer run
+  // exactly (the crash hand-off equivalence tests rely on this). Callers
+  // are responsible for seeding the optimizer lr to its resumed value.
+  int start_epoch = 0;
 };
 
 // Runs the full training loop; every worker sees the same `factory` and

@@ -1,0 +1,64 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven and
+// header-only so every layer — comm, core, faults — can share one frame
+// convention without a dependency cycle. CRC-32 detects every single-bit
+// error and every burst error up to 32 bits, which is exactly the integrity
+// guarantee the fault-injection subsystem exercises (docs/RESILIENCE.md).
+//
+// Frame convention (core::serialize / faults::FaultInjector): the last
+// 4 bytes of a framed blob are the little-endian CRC-32 of every byte
+// before them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace grace::util {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> make_crc32_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+// CRC of `data`; pass a previous result as `seed` to checksum a stream in
+// chunks (crc32(b, crc32(a)) == crc32(ab)).
+inline uint32_t crc32(std::span<const std::byte> data, uint32_t seed = 0) {
+  uint32_t c = ~seed;
+  for (std::byte b : data) {
+    c = detail::kCrc32Table[(c ^ static_cast<uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+inline constexpr size_t kFrameCrcBytes = 4;
+
+// Appends nothing itself — callers append frame_crc(body) little-endian.
+inline uint32_t frame_crc(std::span<const std::byte> body) { return crc32(body); }
+
+// Verifies the trailer of a framed blob. A blob too short to even hold the
+// trailer is (vacuously) corrupt.
+inline bool frame_crc_ok(std::span<const std::byte> frame) {
+  if (frame.size() < kFrameCrcBytes) return false;
+  const size_t body = frame.size() - kFrameCrcBytes;
+  uint32_t stored = 0;
+  for (size_t i = 0; i < kFrameCrcBytes; ++i) {
+    stored |= static_cast<uint32_t>(frame[body + i]) << (8 * i);
+  }
+  return crc32(frame.first(body)) == stored;
+}
+
+}  // namespace grace::util
