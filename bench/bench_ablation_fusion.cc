@@ -4,6 +4,7 @@
 // cost and the per-tensor kernel dispatch cost. Side effect: shape-aware
 // compressors change semantics (Top-k becomes global across layers).
 #include <cstdio>
+#include <cstdint>
 #include <cstdlib>
 
 #include "bench_common.h"
@@ -22,16 +23,15 @@ int main() {
                 "unfused smp/s", "fused smp/s", "speedup", "quality unf.",
                 "quality fused");
     bench::print_rule(96);
-    const bool classification = b.quality_metric == "top1-accuracy";
     for (const char* spec : {"none", "topk(0.01)", "signsgd", "qsgd(64)",
                              "dgc(0.01)"}) {
       double thr[2] = {0, 0}, q[2] = {0, 0};
       for (int f = 0; f < 2; ++f) {
-        sim::TrainConfig cfg = sim::default_config(b);
-        cfg.grace.compressor_spec = spec;
-        cfg.fuse_tensors = f == 1;
-        bench::apply_paper_overrides(spec, cfg, classification);
-        sim::RunResult run = sim::train(b.factory, cfg);
+        // The legacy endpoints of the bucket sweep (fusion_bytes 0 /
+        // SIZE_MAX), additive accounting; bench_ablation_bucket runs the
+        // same harness across intermediate caps with overlap on.
+        sim::RunResult run = bench::run_bucket_cell(
+            b, spec, f == 1 ? SIZE_MAX : 0, /*overlap=*/false);
         thr[f] = run.throughput;
         q[f] = run.best_quality;
       }

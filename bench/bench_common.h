@@ -59,6 +59,24 @@ inline void apply_paper_overrides(const std::string& spec,
   }
 }
 
+// One cell of the fusion-bytes ablation: a full training run of `b` with
+// the given compressor and bucket cap (TrainConfig::fusion_bytes; 0 =
+// per-tensor, SIZE_MAX = all-in-one). `overlap` selects the exchange
+// timeline (TimeModel::overlap) versus the additive accounting.
+// bench_ablation_bucket sweeps the cap with overlap on;
+// bench_ablation_fusion runs the two legacy endpoints with overlap off, so
+// both tables come from the same harness and stay directly comparable.
+inline sim::RunResult run_bucket_cell(const sim::Benchmark& b,
+                                      const std::string& spec,
+                                      size_t fusion_bytes, bool overlap) {
+  sim::TrainConfig cfg = sim::default_config(b);
+  cfg.grace.compressor_spec = spec;
+  cfg.fusion_bytes = fusion_bytes;
+  cfg.time.overlap = overlap;
+  apply_paper_overrides(spec, cfg, b.quality_metric == "top1-accuracy");
+  return sim::train(b.factory, cfg);
+}
+
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');

@@ -25,6 +25,13 @@ ExchangeStats& ExchangeStats::operator+=(const ExchangeStats& o) {
   compress_seconds += o.compress_seconds;
   decompress_seconds += o.decompress_seconds;
   comm_seconds += o.comm_seconds;
+  // A fresh accumulator adopts the first bucket id it sees; mixing ids
+  // from different buckets degrades to "not bucket-scoped".
+  if (bucket < 0) {
+    bucket = o.bucket;
+  } else if (o.bucket >= 0 && o.bucket != bucket) {
+    bucket = -1;
+  }
   return *this;
 }
 
@@ -53,35 +60,46 @@ void GraceWorker::absorb(const Tensor& grad, const std::string& name) {
 
 Tensor GraceWorker::exchange(const Tensor& grad, const std::string& name,
                              ExchangeStats* stats) {
-  ExchangeStats local;
-  ExchangeStats* const sp = stats ? &local : nullptr;
-  const int tag = next_tag_++;
+  return wait(submit(grad, name, stats != nullptr), stats);
+}
+
+ExchangeHandle GraceWorker::submit(const Tensor& grad, const std::string& name,
+                                   bool instrument) {
+  ExchangeHandle h;
+  h.instrumented = instrument;
+  h.tag = next_tag_++;
+  ExchangeStats* const sp = instrument ? &h.stats : nullptr;
 
   // Lines 5-6: g~ = Q(phi(m, g)); m = psi(...).
   const double t0 = sp ? now_seconds() : 0.0;
   Tensor compensated = memory_->compensate(grad, name);
-  CompressedTensor compressed = q_->compress(compensated, name, rng_);
+  h.payload = q_->compress(compensated, name, rng_);
   Tensor reconstruction;  // Q^-1(Q(phi)); only materialized when needed
   if (memory_->enabled()) {
-    reconstruction = q_->decompress(compressed);
+    reconstruction = q_->decompress(h.payload);
     memory_->update(name, compensated, reconstruction);
   }
   if (sp) {
     sp->compress_seconds = now_seconds() - t0;
-    sp->wire_bytes = compressed.wire_bytes();
+    sp->wire_bytes = h.payload.wire_bytes();
   }
   if (probe_) {
     // Outside the timed region: probing must not inflate compress_seconds.
-    if (reconstruction.empty()) reconstruction = q_->decompress(compressed);
-    probe_fidelity(name, compensated, compressed, reconstruction);
+    if (reconstruction.empty()) reconstruction = q_->decompress(h.payload);
+    probe_fidelity(name, compensated, h.payload, reconstruction);
   }
+  return h;
+}
 
+Tensor GraceWorker::wait(ExchangeHandle&& h, ExchangeStats* stats) {
+  // The collective reads h.stats.wire_bytes for its cost model, so the
+  // comm/decompress charges accumulate onto the submit-side stats.
+  ExchangeStats* const sp = h.instrumented ? &h.stats : nullptr;
   Tensor aggregated =
       topology_ == Topology::ParameterServer
-          ? exchange_parameter_server(compressed, tag, sp)
-          : exchange_collective(compressed, tag, sp);
-
-  if (stats) *stats += local;
+          ? exchange_parameter_server(h.payload, h.tag, sp)
+          : exchange_collective(h.payload, h.tag, sp);
+  if (stats) *stats += h.stats;
   return aggregated;
 }
 

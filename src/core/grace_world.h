@@ -24,8 +24,27 @@ struct ExchangeStats {
   double compress_seconds = 0.0;  // measured: Q + memory update
   double decompress_seconds = 0.0;  // measured: Q^-1 over received payloads
   double comm_seconds = 0.0;      // simulated network time
+  // Fusion-bucket id this exchange belongs to (sim/scheduler.h), or -1 when
+  // the exchange is not bucket-scoped. Accumulating stats across different
+  // buckets resets the id to -1.
+  int32_t bucket = -1;
 
   ExchangeStats& operator+=(const ExchangeStats& o);
+};
+
+// A submitted-but-not-yet-completed exchange: the unit of work the bucketed
+// exchange scheduler (sim/scheduler.h) moves through its pipeline. submit()
+// runs the compression stage (lines 5-6 of Algorithm 1: phi, Q, psi) and
+// captures the payload; wait() runs the communication and decompression
+// stages and returns the aggregate. Handles must be waited in submission
+// order, and every rank must submit the same (tensor, name) sequence — the
+// ordering contract exchange() always had, made explicit so a scheduler can
+// separate the stages.
+struct ExchangeHandle {
+  CompressedTensor payload;
+  int tag = 0;
+  bool instrumented = false;
+  ExchangeStats stats;  // compress_seconds + wire_bytes, filled by submit()
 };
 
 // §IV-A: the framework is compatible with parameter-server communication —
@@ -55,9 +74,22 @@ class GraceWorker {
   // g_k (mean across workers, or the compressor's custom Agg). When
   // `stats` is null the instrumentation is skipped entirely — no clock
   // syscalls, no cost-model evaluation — so uninstrumented callers pay
-  // nothing for the accounting layer.
+  // nothing for the accounting layer. Equivalent to wait(submit(...)).
   Tensor exchange(const Tensor& grad, const std::string& name,
                   ExchangeStats* stats = nullptr);
+
+  // Stage 1 of an exchange: error-feedback compensation, compression, and
+  // the memory update, leaving a handle holding the wire payload. All
+  // compressor/EF state mutation (and RNG consumption) happens here, so a
+  // submit-all-then-wait-all schedule is bit-identical to interleaved
+  // exchange() calls. When `instrument` is false no clocks are read.
+  ExchangeHandle submit(const Tensor& grad, const std::string& name,
+                        bool instrument = false);
+
+  // Stages 2-3: run the collective for a submitted payload and decompress
+  // the aggregate. Touches no compressor/EF state (decompress and Agg are
+  // const). Folds the handle's accumulated stats into `stats` when set.
+  Tensor wait(ExchangeHandle&& h, ExchangeStats* stats = nullptr);
 
   // Degraded-mode support (docs/RESILIENCE.md). absorb() folds a gradient
   // that could NOT be exchanged (a skipped round) into the error-feedback

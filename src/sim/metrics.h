@@ -23,7 +23,10 @@ struct EpochRecord {
 // Mean per-iteration seconds by phase (the trace taxonomy of sim/trace.h).
 // By construction forward + backward == compute, compress + decompress ==
 // the slowest worker's compression overhead, so total_s() equals the
-// simulated iteration time exactly.
+// simulated iteration time exactly under the additive accounting
+// (TimeModel::overlap == false, the default). With overlap enabled the
+// iteration time comes from the exchange-pipeline critical path instead,
+// so total_s() exceeds RunResult::iteration_s by the overlapped portion.
 struct PhaseBreakdown {
   double forward_s = 0.0;     // simulated device compute, forward pass
   double backward_s = 0.0;    // simulated device compute, backward pass
@@ -40,8 +43,10 @@ struct PhaseBreakdown {
   }
 };
 
-// Rank-0 totals for one gradient tensor across the whole run (populated
-// only when the run was traced).
+// Rank-0 totals for one fusion bucket across the whole run (populated only
+// when the run was traced). At fusion_bytes == 0 a bucket is a single
+// gradient tensor under its own name; larger caps summarize per bucket
+// ("fused" / "bucket<id>", see sim/scheduler.h).
 struct TensorTraceSummary {
   std::string name;
   int64_t numel = 0;
@@ -76,11 +81,26 @@ struct RunResult {
   double optimizer_s = 0.0;
   double total_sim_seconds = 0.0;
 
+  // Mean simulated iteration seconds. Equals phases.total_s() under the
+  // additive accounting; under TimeModel::overlap it is the mean pipeline
+  // critical path (max over alive ranks of the exchange-timeline end, plus
+  // optimizer and the slowest rank's fault stall).
+  double iteration_s = 0.0;
+  // Mean seconds per iteration the overlap timeline saved against the
+  // additive model (0 when overlap is off), and that saving as a fraction
+  // of the additive iteration time.
+  double overlap_saved_s = 0.0;
+  double overlap_fraction = 0.0;
+  // Fusion buckets the scheduler exchanges per iteration
+  // (TrainConfig::fusion_bytes endpoints: gradient_tensors at 0, 1 at
+  // SIZE_MAX).
+  int64_t buckets_per_iter = 0;
+
   // Finer-grained view of the same accounting: mean per-iteration seconds
   // split across the six trace phases (always populated; phases.total_s()
-  // is the mean simulated iteration time).
+  // is the mean simulated iteration time under additive accounting).
   PhaseBreakdown phases;
-  // Per-tensor rank-0 totals; populated when TrainConfig::trace is set.
+  // Per-bucket rank-0 totals; populated when TrainConfig::trace is set.
   std::vector<TensorTraceSummary> tensor_trace;
   // Events overwritten in the trace rings (0 when untraced or not full).
   uint64_t trace_events_dropped = 0;

@@ -1,0 +1,155 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "tensor/ops.h"
+
+namespace grace::sim {
+
+std::vector<BucketSpec> plan_buckets(std::span<const int64_t> numels,
+                                     std::span<const std::string> names,
+                                     size_t fusion_bytes) {
+  assert(numels.size() == names.size());
+  std::vector<BucketSpec> plan;
+  const size_t n = numels.size();
+  size_t at = 0;
+  while (at < n) {
+    BucketSpec b;
+    b.id = static_cast<int32_t>(plan.size());
+    b.first = at;
+    b.count = 1;
+    b.numel = numels[at];
+    // Greedy fill: bytes are 4 per element (gradients are f32 on the wire
+    // before compression). fusion_bytes == 0 never admits a second tensor.
+    uint64_t bytes = static_cast<uint64_t>(b.numel) * 4;
+    while (at + b.count < n) {
+      const uint64_t next = static_cast<uint64_t>(numels[at + b.count]) * 4;
+      if (bytes + next > fusion_bytes) break;
+      bytes += next;
+      b.numel += numels[at + b.count];
+      ++b.count;
+    }
+    plan.push_back(std::move(b));
+    at += plan.back().count;
+  }
+  for (BucketSpec& b : plan) {
+    if (b.count == 1) {
+      b.name = names[b.first];  // per-tensor: the tensor's own state key
+    } else if (b.count == n) {
+      b.name = "fused";  // legacy all-in-one fusion
+    } else {
+      b.name = "bucket" + std::to_string(b.id);
+    }
+  }
+  return plan;
+}
+
+BucketSchedule schedule_buckets(std::span<const BucketTiming> buckets,
+                                double compute_end_s, bool overlap) {
+  BucketSchedule out;
+  out.spans.resize(buckets.size());
+  out.exchange_end = compute_end_s;
+  out.additive_end = compute_end_s;
+  double codec_in_free = 0.0;   // compress stage resource
+  double link_free = 0.0;       // the simulated link
+  double codec_out_free = 0.0;  // decompress stage resource
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const BucketTiming& t = buckets[b];
+    BucketSpan& s = out.spans[b];
+    if (overlap) {
+      s.compress_start = std::max(t.ready_s, codec_in_free);
+    } else {
+      // Additive model: everything chains strictly after compute and after
+      // the previous bucket's last stage.
+      s.compress_start = std::max(compute_end_s, codec_out_free);
+    }
+    codec_in_free = s.compress_start + t.compress_s;
+    s.comm_start = std::max(codec_in_free, link_free);
+    link_free = s.comm_start + t.comm_s;
+    s.decompress_start = std::max(link_free, codec_out_free);
+    codec_out_free = s.decompress_start + t.decompress_s;
+    s.end = codec_out_free;
+    out.exchange_end = std::max(out.exchange_end, s.end);
+    out.link_busy_s += t.comm_s;
+    out.additive_end += t.compress_s + t.comm_s + t.decompress_s;
+  }
+  return out;
+}
+
+ExchangeScheduler::ExchangeScheduler(std::deque<nn::Parameter>& params,
+                                     size_t fusion_bytes)
+    : params_(&params) {
+  std::vector<int64_t> numels;
+  std::vector<std::string> names;
+  numels.reserve(params.size());
+  names.reserve(params.size());
+  for (const nn::Parameter& p : params) {
+    numels.push_back(p.value->grad.numel());
+    names.push_back(p.name);
+  }
+  plan_ = plan_buckets(numels, names, fusion_bytes);
+  staging_.resize(plan_.size());
+  ready_numel_.reserve(plan_.size());
+  for (const BucketSpec& b : plan_) {
+    if (b.count > 1) staging_[static_cast<size_t>(b.id)] = Tensor::zeros(Shape{{b.numel}});
+    total_numel_ += b.numel;
+    ready_numel_.push_back(total_numel_);
+  }
+}
+
+double ExchangeScheduler::ready_fraction(size_t b) const {
+  if (total_numel_ <= 0) return 1.0;
+  return static_cast<double>(ready_numel_.at(b)) /
+         static_cast<double>(total_numel_);
+}
+
+const Tensor& ExchangeScheduler::pack(size_t b) {
+  const BucketSpec& spec = plan_.at(b);
+  if (spec.count == 1) return (*params_)[spec.first].value->grad;
+  Tensor& buf = staging_[b];
+  auto flat = buf.f32();
+  size_t at = 0;
+  for (size_t i = spec.first; i < spec.first + spec.count; ++i) {
+    const Tensor& g = (*params_)[i].value->grad;
+    ops::copy(flat.subspan(at, static_cast<size_t>(g.numel())), g.f32());
+    at += static_cast<size_t>(g.numel());
+  }
+  return buf;
+}
+
+core::ExchangeHandle ExchangeScheduler::submit_bucket(core::GraceWorker& w,
+                                                      size_t b,
+                                                      bool instrument) {
+  const BucketSpec& spec = plan_.at(b);
+  core::ExchangeHandle h = w.submit(pack(b), spec.name, instrument);
+  h.stats.bucket = spec.id;
+  return h;
+}
+
+void ExchangeScheduler::apply_bucket(size_t b, const Tensor& aggregated,
+                                     const ApplyFn& apply) {
+  const BucketSpec& spec = plan_.at(b);
+  if (spec.count == 1) {
+    nn::Parameter& p = (*params_)[spec.first];
+    apply(spec.first, p.value->data.f32(), aggregated.f32());
+    return;
+  }
+  auto agg = aggregated.f32();
+  size_t at = 0;
+  for (size_t i = spec.first; i < spec.first + spec.count; ++i) {
+    nn::Parameter& p = (*params_)[i];
+    const auto len = static_cast<size_t>(p.value->data.numel());
+    apply(i, p.value->data.f32(), agg.subspan(at, len));
+    at += len;
+  }
+}
+
+void ExchangeScheduler::absorb_all(core::GraceWorker& w) {
+  for (size_t b = 0; b < plan_.size(); ++b) {
+    w.absorb(pack(b), plan_[b].name);
+  }
+}
+
+}  // namespace grace::sim

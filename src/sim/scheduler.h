@@ -1,0 +1,143 @@
+// Bucketed exchange scheduling (DESIGN.md §7a). Two pieces:
+//
+// 1. ExchangeScheduler — packs gradient tensors, in gradient-ready order,
+//    into size-capped fusion buckets (Horovod-style threshold,
+//    TrainConfig::fusion_bytes) and drives each bucket through the
+//    GraceWorker submit/wait pipeline. fusion_bytes = 0 degenerates to the
+//    per-tensor path (one bucket per tensor, compressed under its own name
+//    and shape); fusion_bytes = SIZE_MAX degenerates to all-in-one fusion
+//    (a single flat "fused" bucket). Both legacy trainer modes are thereby
+//    endpoints of one code path.
+//
+// 2. schedule_buckets — the per-rank simulated exchange timeline. The
+//    additive cost model (compute, then codec, then comm, summed) becomes
+//    an event-driven three-stage pipeline: a bucket's compression may start
+//    as soon as its gradients are ready during backward, buckets then
+//    serialize on the rank's codec resource and on the simulated link
+//    (network occupancy is tracked — concurrent buckets queue on the link,
+//    they never magically parallelize), and decompression drains in
+//    completion order. With overlap disabled the same function reproduces
+//    the legacy additive accounting exactly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/grace_world.h"
+#include "nn/module.h"
+
+namespace grace::sim {
+
+// One fusion bucket: a contiguous run of gradient tensors exchanged as a
+// single compress/communicate/decompress round. `name` keys the
+// compressor's and error-feedback's per-tensor state, so it must be stable
+// across iterations and identical on every rank:
+//   - single-tensor buckets use the tensor's own name (and original shape),
+//   - the bucket covering every tensor at once is named "fused",
+//   - any other multi-tensor bucket is named "bucket<id>".
+// Shape-aware compressors (topk, dgc, powersgd, ...) therefore act on the
+// bucket as one flat vector: selection/factorization is bucket-global, the
+// same semantics legacy all-in-one fusion had, now at bucket granularity.
+struct BucketSpec {
+  int32_t id = 0;      // stable slot id (trace events, ExchangeStats)
+  std::string name;    // compressor/EF state key
+  size_t first = 0;    // index of the bucket's first tensor
+  size_t count = 0;    // number of tensors in the bucket
+  int64_t numel = 0;   // total elements across the bucket's tensors
+};
+
+// Deterministic greedy packing: walk tensors in gradient-ready order and
+// close a bucket when adding the next tensor would exceed `fusion_bytes`
+// (4 bytes per element). A tensor larger than the cap forms its own
+// bucket; a bucket always holds at least one tensor. Pure function of
+// (numels, names, fusion_bytes), so every rank computes the same plan.
+std::vector<BucketSpec> plan_buckets(std::span<const int64_t> numels,
+                                     std::span<const std::string> names,
+                                     size_t fusion_bytes);
+
+// Per-bucket stage durations feeding the timeline, in bucket issue order.
+struct BucketTiming {
+  double ready_s = 0.0;       // when the bucket's last gradient is ready
+  double compress_s = 0.0;    // codec-in stage (measured, scaled, + fixed)
+  double comm_s = 0.0;        // link occupancy (simulated collective time)
+  double decompress_s = 0.0;  // codec-out stage
+};
+
+// Where each bucket's stages landed on the simulated timeline (absolute
+// seconds from iteration start).
+struct BucketSpan {
+  double compress_start = 0.0;
+  double comm_start = 0.0;
+  double decompress_start = 0.0;
+  double end = 0.0;  // decompress completion
+};
+
+struct BucketSchedule {
+  std::vector<BucketSpan> spans;
+  double exchange_end = 0.0;  // last bucket's decompress completion
+  double link_busy_s = 0.0;   // total link occupancy (sum of comm stages)
+  // What the legacy additive model charges for the same inputs:
+  // compute_end + sum(compress + comm + decompress). exchange_end never
+  // exceeds this under overlap, and equals it with overlap off.
+  double additive_end = 0.0;
+};
+
+// Simulate one iteration's exchange pipeline. With `overlap` on, the three
+// stages chain per bucket b (in issue order):
+//   compress_start[b] = max(ready[b],          compress_end[b-1])
+//   comm_start[b]     = max(compress_end[b],   comm_end[b-1])      // link
+//   decompress_start[b] = max(comm_end[b],     decompress_end[b-1])
+// With `overlap` off, every stage of bucket b starts where bucket b-1's
+// stages ended, chained after compute_end_s — the additive model.
+BucketSchedule schedule_buckets(std::span<const BucketTiming> buckets,
+                                double compute_end_s, bool overlap);
+
+// Drives one worker's per-iteration gradient exchange through the bucket
+// plan. One instance per worker (owns the staging buffers for multi-tensor
+// buckets); the parameter deque must outlive the scheduler.
+class ExchangeScheduler {
+ public:
+  ExchangeScheduler(std::deque<nn::Parameter>& params, size_t fusion_bytes);
+
+  const std::vector<BucketSpec>& buckets() const { return plan_; }
+  size_t n_buckets() const { return plan_.size(); }
+  int64_t total_numel() const { return total_numel_; }
+
+  // Fraction of the backward pass finished when bucket b's last gradient
+  // is ready: cumulative numel share through b in pack order (the simulated
+  // backward produces gradients in pack order at a uniform element rate).
+  double ready_fraction(size_t b) const;
+
+  // Stage bucket b's gradients (multi-tensor buckets copy into the staging
+  // buffer; single-tensor buckets pass the gradient through untouched) and
+  // submit through the worker. Call for b = 0..n_buckets()-1 in order.
+  core::ExchangeHandle submit_bucket(core::GraceWorker& w, size_t b,
+                                     bool instrument);
+
+  // Scatter a completed bucket's aggregate back to its tensors:
+  // apply(slot, param_values, aggregated_gradient) per tensor, where slot
+  // is the tensor's global parameter index.
+  using ApplyFn = std::function<void(size_t slot, std::span<float> param,
+                                     std::span<const float> grad)>;
+  void apply_bucket(size_t b, const Tensor& aggregated, const ApplyFn& apply);
+
+  // Degraded round (docs/RESILIENCE.md): fold every bucket's gradients into
+  // the worker's error-feedback residual instead of exchanging, at the same
+  // bucket granularity a healthy round would have used.
+  void absorb_all(core::GraceWorker& w);
+
+ private:
+  const Tensor& pack(size_t b);
+
+  std::deque<nn::Parameter>* params_;
+  std::vector<BucketSpec> plan_;
+  std::vector<Tensor> staging_;       // per bucket; empty for single-tensor
+  std::vector<int64_t> ready_numel_;  // cumulative numel through bucket b
+  int64_t total_numel_ = 0;
+};
+
+}  // namespace grace::sim

@@ -29,6 +29,15 @@ struct TimeModel {
   // iteration so the optimizer phase participates in the per-phase
   // accounting; the share is tiny relative to forward+backward.
   double optimizer_flops_per_param = 4.0;
+  // Compute-communication overlap (sim/scheduler.h, DESIGN.md §7a). When
+  // true, the iteration time comes from the per-rank exchange timeline: a
+  // bucket's compression starts as soon as its gradients are ready during
+  // backward, bucket communication overlaps the backward tail of
+  // not-yet-ready buckets, and concurrent buckets serialize on the
+  // simulated link. When false (the default) the legacy additive
+  // accounting applies — compute + codec + comm + optimizer + stall — and
+  // the phase breakdown sums exactly to the iteration time.
+  bool overlap = false;
 
   double compute_seconds(double fwd_flops_per_sample, int64_t batch) const {
     return fwd_flops_per_sample * (1.0 + backward_factor) *

@@ -96,7 +96,12 @@ std::string run_result_json(const RunResult& r) {
      << ",\"decompress\":" << r.phases.decompress_s
      << ",\"optimizer\":" << r.phases.optimizer_s
      << ",\"stall\":" << r.phases.stall_s << '}';
-  os << ",\"iteration_seconds\":" << r.phases.total_s();
+  os << ",\"iteration_seconds\":"
+     << (r.iteration_s > 0.0 ? r.iteration_s : r.phases.total_s());
+  os << ",\"additive_iteration_seconds\":" << r.phases.total_s();
+  os << ",\"overlap_saved_seconds\":" << r.overlap_saved_s;
+  os << ",\"overlap_fraction\":" << r.overlap_fraction;
+  os << ",\"buckets_per_iter\":" << r.buckets_per_iter;
   os << ",\"wire_bytes_per_iter\":" << r.wire_bytes_per_iter;
   os << ",\"throughput\":" << r.throughput;
   os << ",\"total_sim_seconds\":" << r.total_sim_seconds;
@@ -156,7 +161,8 @@ std::string trace_events_json(const Trace& t) {
     os << "{\"rank\":" << ev.rank << ",\"epoch\":" << ev.epoch
        << ",\"iter\":" << ev.iter << ",\"phase\":\"" << phase_name(ev.phase)
        << "\",\"tensor\":" << ev.tensor << ",\"seconds\":" << ev.seconds
-       << ",\"bytes\":" << ev.bytes << '}';
+       << ",\"bytes\":" << ev.bytes << ",\"start_seconds\":" << ev.start_s
+       << '}';
   }
   os << ']';
   return os.str();

@@ -43,9 +43,17 @@ struct TraceEvent {
   int32_t iter = 0;    // iteration within the epoch
   int16_t rank = 0;
   Phase phase = Phase::Forward;
-  int32_t tensor = -1;  // gradient tensor slot; -1 = iteration scope
+  int32_t tensor = -1;  // fusion-bucket id (sim/scheduler.h); -1 = iteration
+                        // scope
   double seconds = 0.0;
   uint64_t bytes = 0;  // logical wire bytes (Comm events only)
+  // Absolute start of this span within its iteration on the simulated
+  // exchange timeline (seconds from iteration start), or -1 when the event
+  // has no simulated placement — consumers then lay events out
+  // sequentially in recorded order. Bucket Compress/Comm/Decompress events
+  // carry real starts, which is what makes compute/comm overlap visible in
+  // the Chrome export.
+  double start_s = -1.0;
 };
 
 // Per-rank ring buffers of TraceEvents. Each rank writes only its own ring

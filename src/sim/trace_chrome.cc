@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "sim/trace.h"
@@ -23,18 +24,34 @@ std::string trace_chrome_json(const Trace& t) {
        << "\"}}";
   }
 
-  // Per-rank cursors: events within one rank are chronological, so each
-  // complete event starts where the previous one on that track ended.
-  std::vector<double> cursor_us(static_cast<size_t>(t.n_ranks()), 0.0);
+  // Per-rank cursors: events within one rank are chronological, so a
+  // complete event without a simulated placement starts where the previous
+  // one on that track ended. Events that carry start_s (the per-bucket
+  // exchange phases, sim/scheduler.h) are instead anchored at iteration
+  // start + start_s — concurrent buckets then visibly overlap backward
+  // compute — and the cursor only ever moves forward, so the sequential
+  // tail (optimizer, fault) resumes after the pipeline drains.
+  const size_t n_ranks = static_cast<size_t>(t.n_ranks());
+  std::vector<double> cursor_us(n_ranks, 0.0);
+  std::vector<double> iter_base_us(n_ranks, 0.0);
+  std::vector<std::pair<int32_t, int32_t>> at_iter(
+      n_ranks, {std::numeric_limits<int32_t>::min(), 0});
   for (const TraceEvent& ev : t.events()) {
     const auto rank = static_cast<size_t>(ev.rank);
+    if (at_iter[rank] != std::make_pair(ev.epoch, ev.iter)) {
+      at_iter[rank] = {ev.epoch, ev.iter};
+      iter_base_us[rank] = cursor_us[rank];
+    }
     const double dur_us = ev.seconds * 1e6;
+    const double ts_us = ev.start_s >= 0.0
+                             ? iter_base_us[rank] + ev.start_s * 1e6
+                             : cursor_us[rank];
     os << ",{\"ph\":\"X\",\"pid\":0,\"tid\":" << ev.rank << ",\"name\":\""
        << phase_name(ev.phase) << "\",\"cat\":\"" << phase_name(ev.phase)
-       << "\",\"ts\":" << cursor_us[rank] << ",\"dur\":" << dur_us
+       << "\",\"ts\":" << ts_us << ",\"dur\":" << dur_us
        << ",\"args\":{\"epoch\":" << ev.epoch << ",\"iter\":" << ev.iter
        << ",\"tensor\":" << ev.tensor << ",\"bytes\":" << ev.bytes << "}}";
-    cursor_us[rank] += dur_us;
+    cursor_us[rank] = std::max(cursor_us[rank], ts_us + dur_us);
   }
 
   os << "]}";

@@ -13,6 +13,7 @@
 #include "runtime/thread_pool.h"
 #include "sim/fidelity.h"
 #include "sim/metric_registry.h"
+#include "sim/scheduler.h"
 #include "sim/trace.h"
 #include "tensor/ops.h"
 #include "util/crc32.h"
@@ -25,6 +26,8 @@ struct WorkerLog {
   std::vector<double> compress_s;     // measured compress + memory update
   std::vector<double> decompress_s;   // measured Q^-1 over received payloads
   std::vector<double> comm_s;         // simulated comm per iter
+  std::vector<double> pipe_s;         // exchange-pipeline end per iter
+                                      // (TimeModel::overlap runs only)
   std::vector<double> stall_s;        // simulated fault stall per iter
   std::vector<uint64_t> wire_bytes;   // logical bytes per iter
   std::vector<bool> sync_ok;          // per epoch
@@ -74,15 +77,19 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     result.gradient_tensors = static_cast<int64_t>(probe->module().parameters().size());
     fwd_flops_per_sample = probe->flops_per_sample();
     probe_train_n = probe->train_size();
-    if (cfg.fuse_tensors) {
-      tensor_names.push_back("fused");
-      tensor_numels.push_back(probe->module().num_parameters());
-    } else {
-      for (auto& p : probe->module().parameters()) {
-        tensor_names.push_back(p.name);
-        tensor_numels.push_back(p.value->data.numel());
-      }
+    // The bucket plan is a pure function of (tensor sizes, fusion_bytes),
+    // so this probe-side plan matches every worker's scheduler exactly.
+    std::vector<std::string> pnames;
+    std::vector<int64_t> pnumels;
+    for (auto& p : probe->module().parameters()) {
+      pnames.push_back(p.name);
+      pnumels.push_back(p.value->data.numel());
     }
+    for (const BucketSpec& b : plan_buckets(pnumels, pnames, cfg.fusion_bytes)) {
+      tensor_names.push_back(b.name);
+      tensor_numels.push_back(b.numel);
+    }
+    result.buckets_per_iter = static_cast<int64_t>(tensor_names.size());
   }
   result.compressor = cfg.grace.compressor_spec;
 
@@ -159,17 +166,22 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     comm::Comm comm = world.comm(rank);
 
     const int64_t train_n = model->train_size();
-    const int64_t tensors_per_iter =
-        cfg.fuse_tensors ? 1
-                         : static_cast<int64_t>(model->module().parameters().size());
+    // Every exchange flows through the bucket scheduler; the legacy
+    // per-tensor and all-fused paths are its fusion_bytes = 0 / SIZE_MAX
+    // endpoints (sim/scheduler.h).
+    ExchangeScheduler sched(model->module().parameters(), cfg.fusion_bytes);
+    const size_t n_buckets = sched.n_buckets();
     const double fixed_per_tensor =
         compressing ? cfg.time.compression_fixed_per_tensor : 0.0;
     const double fixed_overhead =
-        fixed_per_tensor * static_cast<double>(tensors_per_iter);
-    Tensor fused;  // reused flat buffer when fuse_tensors is on
-    if (cfg.fuse_tensors) {
-      fused = Tensor::zeros(Shape{{model->module().num_parameters()}});
-    }
+        fixed_per_tensor * static_cast<double>(n_buckets);
+    std::vector<core::ExchangeHandle> handles;  // per-iter, reused
+    handles.reserve(n_buckets);
+    std::vector<core::ExchangeStats> bucket_stats(n_buckets);
+    std::vector<BucketTiming> timings(n_buckets);
+    // The per-bucket timeline is only needed when something consumes it:
+    // the overlap accounting or the trace (per-bucket start offsets).
+    const bool need_schedule = cfg.time.overlap || trace != nullptr;
     std::vector<int64_t> wrapped;  // slice buffer when the batch wraps
 
     // Live-world view; changes once if the planned crash shrinks the world.
@@ -181,24 +193,30 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     bool halted = false;       // CrashPolicy::Halt fired
 
     auto record = [&](int epoch, int64_t it, Phase phase, int32_t tensor,
-                      double seconds, uint64_t bytes) {
+                      double seconds, uint64_t bytes, double start = -1.0) {
       trace->record(rank, TraceEvent{epoch, static_cast<int32_t>(it),
                                      static_cast<int16_t>(rank), phase, tensor,
-                                     seconds, bytes});
+                                     seconds, bytes, start});
     };
-    auto record_exchange = [&](int epoch, int64_t it, int32_t tensor,
-                               const core::ExchangeStats& s) {
-      record(epoch, it, Phase::Compress, tensor,
+    // Per-bucket exchange phases carry the bucket's stable id as the tensor
+    // slot and, when the timeline was simulated, the absolute start of each
+    // stage within the iteration (Chrome traces then show overlap).
+    auto record_exchange = [&](int epoch, int64_t it, int32_t bucket,
+                               const core::ExchangeStats& s,
+                               const BucketSpan* span) {
+      record(epoch, it, Phase::Compress, bucket,
              s.compress_seconds * cfg.time.compression_time_scale +
                  fixed_per_tensor,
-             0);
-      record(epoch, it, Phase::Comm, tensor, s.comm_seconds, s.wire_bytes);
-      record(epoch, it, Phase::Decompress, tensor,
-             s.decompress_seconds * cfg.time.compression_time_scale, 0);
+             0, span ? span->compress_start : -1.0);
+      record(epoch, it, Phase::Comm, bucket, s.comm_seconds, s.wire_bytes,
+             span ? span->comm_start : -1.0);
+      record(epoch, it, Phase::Decompress, bucket,
+             s.decompress_seconds * cfg.time.compression_time_scale, 0,
+             span ? span->decompress_start : -1.0);
     };
     // Per-exchange distributions (the same scaled quantities the trace
     // records, so the registry's tails are comparable with the phase means).
-    auto record_metrics = [&](const core::ExchangeStats& s) {
+    auto record_metrics = [&](const core::ExchangeStats& s, int64_t numel) {
       metrics->inc(rank, "exchange.count");
       metrics->inc(rank, "exchange.wire_bytes_total", s.wire_bytes);
       metrics->observe(rank, "exchange.compress_ns",
@@ -210,6 +228,9 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       metrics->observe(rank, "exchange.comm_ns", s.comm_seconds * 1e9);
       metrics->observe(rank, "exchange.wire_bytes",
                        static_cast<double>(s.wire_bytes));
+      metrics->inc(rank, "sched.bucket_exchanges");
+      metrics->observe(rank, "sched.bucket_bytes",
+                       static_cast<double>(numel) * 4.0);
     };
 
     for (int e0 = 0; e0 < cfg.epochs && !crashed_out && !halted; ++e0) {
@@ -293,57 +314,70 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
         core::ExchangeStats stats;
         if (skip_round) {
           // Degraded round: the exchange is lost on every rank. Fold the
-          // computed gradients into the error-feedback residual so the
-          // work feeds the next round; no optimizer step (replicas remain
-          // identical because everyone skips the same rounds).
-          if (cfg.fuse_tensors) {
-            auto flat = fused.f32();
-            size_t at = 0;
-            for (auto& p : model->module().parameters()) {
-              ops::copy(flat.subspan(at, static_cast<size_t>(p.value->grad.numel())),
-                        p.value->grad.f32());
-              at += static_cast<size_t>(p.value->grad.numel());
-            }
-            grace.absorb(fused, "fused");
-          } else {
-            for (auto& p : model->module().parameters()) {
-              grace.absorb(p.value->grad, p.name);
-            }
-          }
+          // computed gradients into the error-feedback residual — at the
+          // same bucket granularity a healthy round would have used — so
+          // the work feeds the next round; no optimizer step (replicas
+          // remain identical because everyone skips the same rounds).
+          sched.absorb_all(grace);
+          // No exchange happened, so the pipeline ends with compute.
+          if (cfg.time.overlap) log.pipe_s.push_back(result.compute_s);
           if (rank == 0) ++log.rounds_skipped;
-        } else if (cfg.fuse_tensors) {
-          // Horovod-style bucketing: one exchange for the concatenation of
-          // all gradient tensors, then per-tensor optimizer updates.
-          auto flat = fused.f32();
-          size_t at = 0;
-          for (auto& p : model->module().parameters()) {
-            ops::copy(flat.subspan(at, static_cast<size_t>(p.value->grad.numel())),
-                      p.value->grad.f32());
-            at += static_cast<size_t>(p.value->grad.numel());
-          }
-          Tensor aggregated = grace.exchange(fused, "fused", &stats);
-          if (trace) record_exchange(epoch, it, 0, stats);
-          if (metrics) record_metrics(stats);
-          auto agg = aggregated.f32();
-          at = 0;
-          size_t slot = 0;
-          for (auto& p : model->module().parameters()) {
-            const auto len = static_cast<size_t>(p.value->data.numel());
-            optimizer->apply(slot++, p.value->data.f32(), agg.subspan(at, len));
-            at += len;
-          }
         } else {
-          size_t slot = 0;
-          for (auto& p : model->module().parameters()) {
-            core::ExchangeStats tensor_stats;
-            Tensor aggregated = grace.exchange(p.value->grad, p.name, &tensor_stats);
-            if (trace) {
-              record_exchange(epoch, it, static_cast<int32_t>(slot),
-                              tensor_stats);
+          // Submit every bucket (compensate + compress + memory update, all
+          // compressor/EF state mutation and RNG draws, in pack order —
+          // identical to the legacy exchange order), then wait for each in
+          // submission order and scatter its aggregate into the optimizer.
+          for (size_t b = 0; b < n_buckets; ++b) {
+            handles.push_back(sched.submit_bucket(grace, b, /*instrument=*/true));
+          }
+          for (size_t b = 0; b < n_buckets; ++b) {
+            bucket_stats[b] = core::ExchangeStats{};  // wait() accumulates
+            Tensor aggregated = grace.wait(std::move(handles[b]), &bucket_stats[b]);
+            stats += bucket_stats[b];
+            if (metrics) {
+              record_metrics(bucket_stats[b], sched.buckets()[b].numel);
             }
-            if (metrics) record_metrics(tensor_stats);
-            stats += tensor_stats;
-            optimizer->apply(slot++, p.value->data.f32(), aggregated.f32());
+            sched.apply_bucket(
+                b, aggregated,
+                [&](size_t slot, std::span<float> param, std::span<const float> g) {
+                  optimizer->apply(slot, param, g);
+                });
+          }
+          handles.clear();
+          // Lay the buckets out on the simulated per-rank timeline: bucket
+          // b's compression may start once its gradients are ready during
+          // backward (cumulative-numel ramp), buckets serialize on the
+          // codec stages and on the link. With overlap off the same pass
+          // reproduces the additive layout, so traces stay sequential.
+          if (need_schedule) {
+            for (size_t b = 0; b < n_buckets; ++b) {
+              const core::ExchangeStats& s = bucket_stats[b];
+              timings[b].ready_s =
+                  forward_iter_s + backward_iter_s * sched.ready_fraction(b);
+              timings[b].compress_s =
+                  s.compress_seconds * cfg.time.compression_time_scale +
+                  fixed_per_tensor;
+              timings[b].comm_s = s.comm_seconds;
+              timings[b].decompress_s =
+                  s.decompress_seconds * cfg.time.compression_time_scale;
+            }
+            const BucketSchedule bs =
+                schedule_buckets(timings, result.compute_s, cfg.time.overlap);
+            if (trace) {
+              for (size_t b = 0; b < n_buckets; ++b) {
+                record_exchange(epoch, it, sched.buckets()[b].id,
+                                bucket_stats[b], &bs.spans[b]);
+              }
+            }
+            if (cfg.time.overlap) {
+              const double pipe_end =
+                  std::max(result.compute_s, bs.exchange_end);
+              log.pipe_s.push_back(pipe_end);
+              if (metrics) {
+                metrics->observe(rank, "sched.overlap_saved_ns",
+                                 (bs.additive_end - pipe_end) * 1e9);
+              }
+            }
           }
         }
         if (trace) record(epoch, it, Phase::Optimizer, -1, optimizer_s, 0);
@@ -440,20 +474,25 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   result.samples_dropped_per_epoch =
       std::max<int64_t>(0, probe_train_n - result.samples_per_epoch);
 
-  // Per-iteration simulated time: compute + the slowest worker's measured
-  // compression overhead + simulated comm (identical across workers) + the
-  // simulated optimizer step + the slowest worker's fault stall. A crashed
+  // Per-iteration simulated time. Additive accounting (the default):
+  // compute + the slowest worker's measured compression overhead +
+  // simulated comm (identical across workers) + the simulated optimizer
+  // step + the slowest worker's fault stall. Under TimeModel::overlap the
+  // iteration instead ends when the slowest alive rank's exchange pipeline
+  // drains (sim/scheduler.h) — the additive figure is still computed so
+  // the phase breakdown and the overlap saving stay reportable. A crashed
   // rank's log just ends early; iterations after its death take the max
   // over the survivors.
   std::vector<double> iter_seconds(static_cast<size_t>(total_iters));
   double compress_sum = 0.0, decompress_sum = 0.0, comm_sum = 0.0,
          stall_sum = 0.0, bytes_sum = 0.0;
+  double additive_sum = 0.0, saved_sum = 0.0;
   for (int64_t it = 0; it < total_iters; ++it) {
     // The slowest worker this iteration sets the compression overhead; use
     // that worker's compress/decompress split so the phase columns sum to
     // exactly the charged overhead.
     double max_overhead = 0.0, max_compress = 0.0, max_decompress = 0.0;
-    double max_stall = 0.0;
+    double max_stall = 0.0, max_pipe = 0.0;
     for (const auto& log : logs) {
       if (static_cast<size_t>(it) >= log.losses.size()) continue;  // rank died
       const double c = log.compress_s[static_cast<size_t>(it)];
@@ -464,10 +503,20 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
         max_decompress = d;
       }
       max_stall = std::max(max_stall, log.stall_s[static_cast<size_t>(it)]);
+      if (cfg.time.overlap) {
+        max_pipe = std::max(max_pipe, log.pipe_s[static_cast<size_t>(it)]);
+      }
     }
     const double comm = logs[0].comm_s[static_cast<size_t>(it)];
-    iter_seconds[static_cast<size_t>(it)] =
+    const double additive =
         result.compute_s + max_overhead + comm + optimizer_s + max_stall;
+    double iter = additive;
+    if (cfg.time.overlap) {
+      iter = max_pipe + optimizer_s + max_stall;
+      saved_sum += additive - iter;
+    }
+    additive_sum += additive;
+    iter_seconds[static_cast<size_t>(it)] = iter;
     compress_sum += max_compress;
     decompress_sum += max_decompress;
     comm_sum += comm;
@@ -486,6 +535,12 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     result.phases.decompress_s = decompress_sum / iters;
     result.phases.optimizer_s = optimizer_s;
     result.phases.stall_s = stall_sum / iters;
+    double iter_sum = 0.0;
+    for (double s : iter_seconds) iter_sum += s;
+    result.iteration_s = iter_sum / iters;
+    result.overlap_saved_s = saved_sum / iters;
+    result.overlap_fraction =
+        additive_sum > 0.0 ? saved_sum / additive_sum : 0.0;
   }
 
   // Steady-state throughput over the trailing window (paper: last 100 iters).

@@ -41,12 +41,19 @@ struct TrainConfig {
   // lr_decay_every epochs (0 disables).
   int lr_decay_every = 0;
   double lr_decay_factor = 0.1;
-  // Tensor fusion (Horovod-style bucketing): concatenate all gradient
-  // tensors into one flat buffer and run a single compress/communicate/
-  // decompress round per iteration, amortizing per-message overhead.
-  // Changes semantics for shape-aware compressors (PowerSGD sees a d x 1
-  // matrix; Top-k selects globally across layers).
-  bool fuse_tensors = false;
+  // Gradient-fusion bucket cap in bytes (Horovod-style threshold,
+  // sim/scheduler.h). Gradient tensors are packed, in gradient-ready
+  // order, into buckets of at most this many bytes (4 per element), and
+  // each bucket runs one compress/communicate/decompress round —
+  // amortizing per-message and per-tensor dispatch overhead while keeping
+  // early buckets small enough to overlap (TimeModel::overlap).
+  //   0        = one bucket per tensor (the legacy per-tensor path)
+  //   SIZE_MAX = everything in one "fused" bucket (legacy full fusion)
+  // A tensor larger than the cap forms its own bucket. Multi-tensor
+  // buckets change semantics for shape-aware compressors exactly as full
+  // fusion did, now at bucket granularity: PowerSGD sees a flat vector,
+  // Top-k selects across the bucket's layers.
+  size_t fusion_bytes = 0;
   // Optional run tracer (sim/trace.h, not owned). When set, every worker
   // records per-phase / per-tensor TraceEvents and the trainer fills
   // RunResult::tensor_trace from rank 0's events. When null (the default)

@@ -5,6 +5,7 @@
 // to the survivors so exactly that a fresh (n-1)-rank run resumed from the
 // survivors' weights reproduces the tail of the crashed run bit-for-bit.
 #include <gtest/gtest.h>
+#include <cstdint>
 
 #include <algorithm>
 #include <vector>
@@ -187,7 +188,7 @@ TEST(Resilience, PartialSkipsKeepReplicasInSyncDeterministically) {
   for (const bool fused : {false, true}) {
     TrainConfig cfg = tiny_config(b, 2);
     cfg.grace.compressor_spec = "topk(0.1)";
-    cfg.fuse_tensors = fused;
+    cfg.fusion_bytes = fused ? SIZE_MAX : 0;
 
     faults::FaultSpec spec;
     spec.seed = 31;

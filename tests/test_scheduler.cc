@@ -1,0 +1,578 @@
+// Bucketed exchange scheduling (sim/scheduler.h): the bucket planner, the
+// GraceWorker submit/wait split, the simulated overlap timeline, and the
+// trainer-level invariants tying them together. Everything here is sized
+// for the `ctest -L quick` tier.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/world.h"
+#include "core/grace_world.h"
+#include "nn/module.h"
+#include "sim/scheduler.h"
+#include "sim/tasks.h"
+#include "sim/trace.h"
+#include "tensor/ops.h"
+
+namespace grace::sim {
+namespace {
+
+std::vector<std::string> names_for(size_t n) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < n; ++i) names.push_back("t" + std::to_string(i));
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// plan_buckets
+
+TEST(BucketPlan, ZeroCapIsOneBucketPerTensor) {
+  const std::vector<int64_t> numels = {7, 1, 100, 3};
+  const auto names = names_for(numels.size());
+  const auto plan = plan_buckets(numels, names, 0);
+  ASSERT_EQ(plan.size(), numels.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].id, static_cast<int32_t>(i));
+    EXPECT_EQ(plan[i].first, i);
+    EXPECT_EQ(plan[i].count, 1u);
+    EXPECT_EQ(plan[i].numel, numels[i]);
+    EXPECT_EQ(plan[i].name, names[i]);  // per-tensor: own state key
+  }
+}
+
+TEST(BucketPlan, MaxCapIsOneFusedBucket) {
+  const std::vector<int64_t> numels = {7, 1, 100, 3};
+  const auto names = names_for(numels.size());
+  const auto plan = plan_buckets(numels, names, SIZE_MAX);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].first, 0u);
+  EXPECT_EQ(plan[0].count, numels.size());
+  EXPECT_EQ(plan[0].numel, 111);
+  EXPECT_EQ(plan[0].name, "fused");  // the legacy fusion state key
+}
+
+TEST(BucketPlan, CapClosesBucketsAndOversizedTensorStandsAlone) {
+  // 10 elements = 40 bytes each; an 80-byte cap packs pairs. The 50-element
+  // tensor exceeds the cap on its own and must still form a (single-tensor)
+  // bucket rather than being split or dropped.
+  const std::vector<int64_t> numels = {10, 10, 10, 50, 10};
+  const auto names = names_for(numels.size());
+  const auto plan = plan_buckets(numels, names, 80);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0].count, 2u);
+  EXPECT_EQ(plan[0].numel, 20);
+  EXPECT_EQ(plan[0].name, "bucket0");
+  EXPECT_EQ(plan[1].count, 1u);
+  EXPECT_EQ(plan[1].name, names[2]);  // single-tensor bucket keeps its name
+  EXPECT_EQ(plan[2].count, 1u);
+  EXPECT_EQ(plan[2].numel, 50);
+  EXPECT_EQ(plan[2].name, names[3]);
+  EXPECT_EQ(plan[3].count, 1u);
+  EXPECT_EQ(plan[3].name, names[4]);
+  // Buckets tile the tensor list in order.
+  size_t at = 0;
+  for (const auto& b : plan) {
+    EXPECT_EQ(b.first, at);
+    at += b.count;
+  }
+  EXPECT_EQ(at, numels.size());
+}
+
+TEST(BucketPlan, PureFunctionOfInputsSoRanksAgree) {
+  // Every rank plans independently from (numels, names, cap); the plans
+  // must be field-for-field identical or the collectives would deadlock.
+  const std::vector<int64_t> numels = {33, 2, 900, 41, 7, 7};
+  const auto names = names_for(numels.size());
+  for (size_t cap : {size_t{0}, size_t{256}, size_t{4096}, SIZE_MAX}) {
+    const auto a = plan_buckets(numels, names, cap);
+    const auto b = plan_buckets(numels, names, cap);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].id, b[i].id);
+      EXPECT_EQ(a[i].name, b[i].name);
+      EXPECT_EQ(a[i].first, b[i].first);
+      EXPECT_EQ(a[i].count, b[i].count);
+      EXPECT_EQ(a[i].numel, b[i].numel);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraceWorker submit/wait
+
+// Runs `iters` rounds of two-rank gradient exchange over `numels`-shaped
+// tensors, either through the legacy one-shot exchange() or through the
+// submit-all-then-wait-all schedule, and returns rank 0's aggregated
+// outputs concatenated. Gradients are a deterministic function of (rank,
+// iteration, tensor), so both drivers see identical inputs.
+std::vector<float> run_exchanges(const std::string& spec,
+                                 const std::vector<int64_t>& numels, int iters,
+                                 bool split) {
+  comm::World world(2);
+  std::vector<float> out;
+  auto worker = [&](int rank) {
+    core::GraceConfig gcfg;
+    gcfg.compressor_spec = spec;
+    comm::NetworkModel net;
+    net.n_workers = 2;
+    core::GraceWorker w(gcfg, world.comm(rank), net,
+                        1234 + static_cast<uint64_t>(rank));
+    for (int it = 0; it < iters; ++it) {
+      std::vector<Tensor> grads;
+      for (size_t t = 0; t < numels.size(); ++t) {
+        Tensor g = Tensor::zeros(Shape{{numels[t]}});
+        auto s = g.f32();
+        for (size_t i = 0; i < s.size(); ++i) {
+          s[i] = 0.01f * static_cast<float>((rank + 1) * (it + 1)) *
+                 static_cast<float>((i + 7 * t) % 13) -
+                 0.05f * static_cast<float>(t);
+        }
+        grads.push_back(std::move(g));
+      }
+      std::vector<Tensor> aggs;
+      if (split) {
+        std::vector<core::ExchangeHandle> hs;
+        for (size_t t = 0; t < grads.size(); ++t) {
+          hs.push_back(w.submit(grads[t], "t" + std::to_string(t)));
+        }
+        for (auto& h : hs) aggs.push_back(w.wait(std::move(h)));
+      } else {
+        for (size_t t = 0; t < grads.size(); ++t) {
+          aggs.push_back(w.exchange(grads[t], "t" + std::to_string(t)));
+        }
+      }
+      if (rank == 0) {
+        for (const Tensor& a : aggs) {
+          auto s = a.f32();
+          out.insert(out.end(), s.begin(), s.end());
+        }
+      }
+    }
+  };
+  std::thread t1(worker, 1);
+  worker(0);
+  t1.join();
+  return out;
+}
+
+TEST(SubmitWait, SubmitAllThenWaitAllMatchesInterleavedExchange) {
+  // All compressor/EF state mutation and RNG consumption happen at
+  // submit(); wait() is const with respect to compressor state. A
+  // submit-all-then-wait-all schedule must therefore be bit-identical to
+  // the legacy interleaved exchange() — including for stateful (EF) and
+  // randomized (QSGD) compressors.
+  const std::vector<int64_t> numels = {48, 7, 130};
+  for (const char* spec : {"none", "topk(0.25)", "qsgd(8)", "efsignsgd"}) {
+    const auto interleaved = run_exchanges(spec, numels, 3, /*split=*/false);
+    const auto pipelined = run_exchanges(spec, numels, 3, /*split=*/true);
+    EXPECT_EQ(interleaved, pipelined) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// schedule_buckets timeline
+
+TEST(Timeline, AdditiveModeChainsEveryStageAfterCompute) {
+  const std::vector<BucketTiming> buckets = {
+      {0.2, 0.01, 0.05, 0.02},
+      {0.6, 0.03, 0.04, 0.01},
+      {1.0, 0.02, 0.06, 0.03},
+  };
+  const double compute_end = 1.0;
+  const auto s = schedule_buckets(buckets, compute_end, /*overlap=*/false);
+  double expect = compute_end;
+  for (const auto& t : buckets) expect += t.compress_s + t.comm_s + t.decompress_s;
+  EXPECT_DOUBLE_EQ(s.exchange_end, expect);
+  EXPECT_DOUBLE_EQ(s.additive_end, expect);
+  // Bucket 0 starts exactly at compute end; each bucket chains after the
+  // previous one's decompress.
+  EXPECT_DOUBLE_EQ(s.spans[0].compress_start, compute_end);
+  for (size_t b = 1; b < buckets.size(); ++b) {
+    EXPECT_DOUBLE_EQ(s.spans[b].compress_start, s.spans[b - 1].end);
+  }
+}
+
+TEST(Timeline, OverlapClosedFormCriticalPath) {
+  // Two buckets, compute ends at 1.0. Bucket 0 is ready at 0.5, compresses
+  // for 0.1, occupies the link 0.6..0.9, decompresses 0.9..0.95. Bucket 1
+  // is ready at 1.0, compresses 1.0..1.1, wants the link at 1.1 (free since
+  // 0.9), comm 1.1..1.3, decompress 1.3..1.35.
+  const std::vector<BucketTiming> buckets = {
+      {0.5, 0.1, 0.3, 0.05},
+      {1.0, 0.1, 0.2, 0.05},
+  };
+  const auto s = schedule_buckets(buckets, 1.0, /*overlap=*/true);
+  EXPECT_DOUBLE_EQ(s.spans[0].compress_start, 0.5);
+  EXPECT_DOUBLE_EQ(s.spans[0].comm_start, 0.6);
+  EXPECT_DOUBLE_EQ(s.spans[0].decompress_start, 0.9);
+  EXPECT_DOUBLE_EQ(s.spans[0].end, 0.95);
+  EXPECT_DOUBLE_EQ(s.spans[1].compress_start, 1.0);
+  EXPECT_DOUBLE_EQ(s.spans[1].comm_start, 1.1);
+  EXPECT_DOUBLE_EQ(s.spans[1].decompress_start, 1.3);
+  EXPECT_DOUBLE_EQ(s.spans[1].end, 1.35);
+  EXPECT_DOUBLE_EQ(s.exchange_end, 1.35);
+  // Additive would have charged 1.0 + (0.1+0.3+0.05) + (0.1+0.2+0.05).
+  EXPECT_DOUBLE_EQ(s.additive_end, 1.8);
+  EXPECT_DOUBLE_EQ(s.link_busy_s, 0.5);
+}
+
+TEST(Timeline, ConcurrentBucketsSerializeOnTheLink) {
+  // Three instantly-ready, instantly-coded buckets all want the link at
+  // once: network occupancy forces them into a back-to-back queue, so the
+  // pipeline can never beat the pure-network lower bound.
+  const std::vector<BucketTiming> buckets = {
+      {0.0, 0.0, 0.4, 0.0},
+      {0.0, 0.0, 0.3, 0.0},
+      {0.0, 0.0, 0.2, 0.0},
+  };
+  const auto s = schedule_buckets(buckets, 1.0, /*overlap=*/true);
+  EXPECT_DOUBLE_EQ(s.spans[0].comm_start, 0.0);
+  EXPECT_DOUBLE_EQ(s.spans[1].comm_start, 0.4);  // queued behind bucket 0
+  EXPECT_DOUBLE_EQ(s.spans[2].comm_start, 0.7);
+  EXPECT_DOUBLE_EQ(s.exchange_end, std::max(1.0, 0.9));
+  EXPECT_GE(s.exchange_end - 0.0, s.link_busy_s);  // link occupancy floor
+}
+
+TEST(Timeline, OverlapNeverExceedsAdditiveAndRespectsFloors) {
+  const std::vector<BucketTiming> buckets = {
+      {0.1, 0.02, 0.10, 0.01}, {0.3, 0.01, 0.02, 0.02},
+      {0.5, 0.04, 0.15, 0.01}, {0.9, 0.01, 0.01, 0.01},
+      {1.0, 0.03, 0.08, 0.02},
+  };
+  const double compute_end = 1.0;
+  const auto s = schedule_buckets(buckets, compute_end, /*overlap=*/true);
+  EXPECT_LE(s.exchange_end, s.additive_end);
+  // The pipeline cannot finish before the link drains, before compute ends
+  // (the last bucket only becomes ready then), or before any single
+  // bucket's own chain.
+  EXPECT_GE(s.exchange_end, s.link_busy_s);
+  EXPECT_GE(s.exchange_end, compute_end);
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const BucketTiming& t = buckets[b];
+    EXPECT_GE(s.exchange_end,
+              t.ready_s + t.compress_s + t.comm_s + t.decompress_s);
+    if (b > 0) {  // link serialization invariant
+      EXPECT_GE(s.spans[b].comm_start,
+                s.spans[b - 1].comm_start + buckets[b - 1].comm_s);
+    }
+  }
+}
+
+TEST(Timeline, SingleBucketReadyAtComputeEndGainsNothing) {
+  // All-in-one fusion: the lone bucket's gradients are only complete when
+  // backward finishes, so overlap degenerates to the additive layout.
+  const std::vector<BucketTiming> buckets = {{1.0, 0.1, 0.3, 0.05}};
+  const auto s = schedule_buckets(buckets, 1.0, /*overlap=*/true);
+  EXPECT_DOUBLE_EQ(s.exchange_end, s.additive_end);
+}
+
+// ---------------------------------------------------------------------------
+// Bucket-global compressor semantics
+
+TEST(BucketSemantics, ShapeAwareCompressorSelectsAcrossTheBucket) {
+  // Two tensors in one bucket, one with large-magnitude gradients and one
+  // with tiny ones. Bucket-global Top-k(0.5) spends its entire budget on
+  // the loud tensor — the quiet tensor's aggregated gradient comes back
+  // all-zero, which per-tensor Top-k (fusion_bytes = 0, selection within
+  // each tensor) never does.
+  for (const size_t fusion_bytes : {SIZE_MAX, size_t{0}}) {
+    nn::Module m;
+    m.register_parameter("loud", Tensor::zeros(Shape{{8}}));
+    m.register_parameter("quiet", Tensor::zeros(Shape{{8}}));
+    auto& params = m.parameters();
+    for (int i = 0; i < 8; ++i) {
+      params[0].value->grad.f32()[i] = 100.0f + static_cast<float>(i);
+      params[1].value->grad.f32()[i] = 0.001f * static_cast<float>(i + 1);
+    }
+    comm::World world(1);
+    core::GraceConfig gcfg;
+    gcfg.compressor_spec = "topk(0.5)";
+    comm::NetworkModel net;
+    net.n_workers = 1;
+    core::GraceWorker w(gcfg, world.comm(0), net, 99);
+    ExchangeScheduler sched(params, fusion_bytes);
+    std::vector<float> quiet_agg;
+    for (size_t b = 0; b < sched.n_buckets(); ++b) {
+      auto h = sched.submit_bucket(w, b, /*instrument=*/false);
+      Tensor agg = w.wait(std::move(h));
+      sched.apply_bucket(b, agg,
+                         [&](size_t slot, std::span<float>,
+                             std::span<const float> g) {
+                           if (slot == 1) quiet_agg.assign(g.begin(), g.end());
+                         });
+    }
+    ASSERT_EQ(quiet_agg.size(), 8u);
+    float quiet_mass = 0.0f;
+    for (float v : quiet_agg) quiet_mass += std::abs(v);
+    if (fusion_bytes == SIZE_MAX) {
+      EXPECT_EQ(quiet_mass, 0.0f);  // budget went to the loud tensor
+    } else {
+      EXPECT_GT(quiet_mass, 0.0f);  // per-tensor selection keeps 4 of 8
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trainer integration
+
+Benchmark tiny_cnn() { return make_cnn_classification(0.1); }
+
+TrainConfig tiny_config(const Benchmark& b) {
+  TrainConfig cfg = default_config(b);
+  cfg.n_workers = 2;
+  cfg.net.n_workers = 2;
+  cfg.epochs = 2;
+  return cfg;
+}
+
+// The legacy trainer exchange loop, as it existed before the scheduler
+// refactor: per-tensor exchange() calls, or one fused exchange over the
+// concatenation. Replicates exactly the parameter-affecting operations of
+// train() (same seeds, same epoch order, same slices, same optimizer
+// slots) and returns rank 0's final parameters, so the scheduler endpoints
+// can be checked bit-for-bit against the pre-refactor semantics.
+std::vector<float> legacy_train_params(const Benchmark& b,
+                                       const TrainConfig& cfg, bool fused) {
+  comm::World world(cfg.n_workers);
+  std::vector<float> final_params;
+  auto worker = [&](int rank) {
+    auto model = b.factory(cfg.seed);
+    core::GraceWorker grace(cfg.grace, world.comm(rank), cfg.net,
+                            cfg.seed * 7919ULL + static_cast<uint64_t>(rank));
+    auto optimizer = optim::make_optimizer(cfg.optimizer);
+    Rng batch_rng(cfg.seed * 104729ULL + static_cast<uint64_t>(rank));
+    const int64_t train_n = model->train_size();
+    const int64_t global_batch =
+        static_cast<int64_t>(cfg.n_workers) * cfg.batch_per_worker;
+    Tensor flat = Tensor::zeros(Shape{{model->module().num_parameters()}});
+    std::vector<int64_t> wrapped;
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+      std::vector<int64_t> order(static_cast<size_t>(train_n));
+      std::iota(order.begin(), order.end(), 0);
+      Rng rng(cfg.seed * 1000003ULL + static_cast<uint64_t>(epoch));
+      rng.shuffle(std::span<int64_t>(order));
+      const int64_t iters = std::max<int64_t>(1, train_n / global_batch);
+      for (int64_t it = 0; it < iters; ++it) {
+        const int64_t base = it * global_batch +
+                             static_cast<int64_t>(rank) * cfg.batch_per_worker;
+        std::span<const int64_t> slice;
+        if (base + cfg.batch_per_worker <= train_n) {
+          slice = std::span<const int64_t>(
+              order.data() + base, static_cast<size_t>(cfg.batch_per_worker));
+        } else {
+          wrapped.resize(static_cast<size_t>(cfg.batch_per_worker));
+          for (int64_t j = 0; j < cfg.batch_per_worker; ++j) {
+            wrapped[static_cast<size_t>(j)] =
+                order[static_cast<size_t>((base + j) % train_n)];
+          }
+          slice = wrapped;
+        }
+        model->module().zero_grad();
+        model->forward_backward(slice, batch_rng);
+        if (fused) {
+          auto f = flat.f32();
+          size_t at = 0;
+          for (auto& p : model->module().parameters()) {
+            ops::copy(f.subspan(at, static_cast<size_t>(p.value->grad.numel())),
+                      p.value->grad.f32());
+            at += static_cast<size_t>(p.value->grad.numel());
+          }
+          Tensor agg = grace.exchange(flat, "fused");
+          auto a = agg.f32();
+          at = 0;
+          size_t slot = 0;
+          for (auto& p : model->module().parameters()) {
+            const auto len = static_cast<size_t>(p.value->data.numel());
+            optimizer->apply(slot++, p.value->data.f32(), a.subspan(at, len));
+            at += len;
+          }
+        } else {
+          size_t slot = 0;
+          for (auto& p : model->module().parameters()) {
+            Tensor agg = grace.exchange(p.value->grad, p.name);
+            optimizer->apply(slot++, p.value->data.f32(), agg.f32());
+          }
+        }
+      }
+    }
+    if (rank == 0) {
+      for (auto& p : model->module().parameters()) {
+        auto v = p.value->data.f32();
+        final_params.insert(final_params.end(), v.begin(), v.end());
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int r = 1; r < cfg.n_workers; ++r) threads.emplace_back(worker, r);
+  worker(0);
+  for (auto& t : threads) t.join();
+  return final_params;
+}
+
+TEST(SchedulerTrainer, EndpointsBitIdenticalToLegacyExchangeLoop) {
+  // fusion_bytes = 0 must reproduce the deleted per-tensor branch and
+  // SIZE_MAX the deleted fused branch, bit for bit — including stateful
+  // error feedback and randomized quantization.
+  Benchmark b = tiny_cnn();
+  for (const char* spec : {"topk(0.1)", "qsgd(8)", "efsignsgd"}) {
+    TrainConfig cfg = tiny_config(b);
+    cfg.epochs = 1;
+    cfg.grace.compressor_spec = spec;
+    cfg.fusion_bytes = 0;
+    EXPECT_EQ(train(b.factory, cfg).final_parameters,
+              legacy_train_params(b, cfg, /*fused=*/false))
+        << spec << " per-tensor";
+    cfg.fusion_bytes = SIZE_MAX;
+    EXPECT_EQ(train(b.factory, cfg).final_parameters,
+              legacy_train_params(b, cfg, /*fused=*/true))
+        << spec << " fused";
+  }
+}
+
+TEST(SchedulerTrainer, MidCapBucketsStaySyncedAndCountIsIntermediate) {
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.grace.compressor_spec = "topk(0.1)";
+  // A cap between the largest tensor and the full model lands strictly
+  // between the endpoints.
+  cfg.fusion_bytes = size_t{20} * 1024;
+  Trace trace(cfg.n_workers);
+  cfg.trace = &trace;
+  RunResult run = train(b.factory, cfg);
+  EXPECT_TRUE(run.replicas_in_sync);
+  EXPECT_GT(run.buckets_per_iter, 1);
+  EXPECT_LT(run.buckets_per_iter, run.gradient_tensors);
+  // Stable bucket ids flow into the per-bucket trace summaries: every
+  // bucket is exchanged once per iteration (the fused path used to funnel
+  // everything into slot 0).
+  ASSERT_EQ(static_cast<int64_t>(run.tensor_trace.size()),
+            run.buckets_per_iter);
+  const int64_t iters = static_cast<int64_t>(run.epochs.size()) *
+                        run.samples_per_epoch /
+                        (cfg.n_workers * cfg.batch_per_worker);
+  int64_t numel_total = 0;
+  for (const auto& t : run.tensor_trace) {
+    EXPECT_EQ(t.exchanges, iters) << t.name;
+    EXPECT_GT(t.wire_bytes, 0u) << t.name;
+    numel_total += t.numel;
+  }
+  EXPECT_EQ(numel_total, run.model_parameters);
+}
+
+TEST(SchedulerTrainer, OverlapChangesOnlyTiming) {
+  // The overlap timeline reinterprets when simulated work happens; it must
+  // not change what is computed.
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.grace.compressor_spec = "topk(0.1)";
+  cfg.epochs = 1;
+  RunResult additive = train(b.factory, cfg);
+  cfg.time.overlap = true;
+  RunResult overlapped = train(b.factory, cfg);
+  EXPECT_EQ(additive.final_parameters, overlapped.final_parameters);
+  EXPECT_EQ(additive.parameters_crc32, overlapped.parameters_crc32);
+}
+
+TEST(SchedulerTrainer, AdditiveModeIterationEqualsPhaseSum) {
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.grace.compressor_spec = "qsgd(8)";
+  RunResult run = train(b.factory, cfg);
+  EXPECT_NEAR(run.iteration_s, run.phases.total_s(),
+              1e-9 * run.phases.total_s());
+  EXPECT_DOUBLE_EQ(run.overlap_saved_s, 0.0);
+  EXPECT_DOUBLE_EQ(run.overlap_fraction, 0.0);
+}
+
+TEST(SchedulerTrainer, OverlapBeatsAdditiveAndRespectsLowerBounds) {
+  // Per-tensor buckets on a comm-heavy config: early buckets' collectives
+  // hide behind the backward tail, so the critical path lands strictly
+  // below the additive sum — but never below the compute or the link
+  // occupancy floor.
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.grace.compressor_spec = "topk(0.1)";
+  cfg.fusion_bytes = 0;
+  cfg.net.bandwidth_gbps = 1.0;  // make comm worth hiding
+  cfg.time.overlap = true;
+  RunResult run = train(b.factory, cfg);
+  EXPECT_LT(run.iteration_s, run.phases.total_s());
+  EXPECT_GT(run.overlap_saved_s, 0.0);
+  EXPECT_GT(run.overlap_fraction, 0.0);
+  EXPECT_LT(run.overlap_fraction, 1.0);
+  EXPECT_GE(run.iteration_s, run.compute_s + run.optimizer_s);
+  EXPECT_GE(run.iteration_s, run.comm_s + run.optimizer_s);
+}
+
+TEST(SchedulerTrainer, FaultStallStillAccumulatesUnderOverlap) {
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.grace.compressor_spec = "none";
+  cfg.time.overlap = true;
+  faults::FaultSpec spec;
+  spec.straggler_prob = 1.0;
+  spec.straggler_rank = 1;
+  spec.straggler_delay_s = 5e-3;
+  faults::FaultPlan plan(spec);
+  cfg.faults = &plan;
+  RunResult run = train(b.factory, cfg);
+  // The injected stall is pure bookkeeping and lands on top of the
+  // pipeline critical path, exactly as it did on top of the additive sum.
+  EXPECT_DOUBLE_EQ(run.phases.stall_s, 5e-3);
+  EXPECT_GE(run.iteration_s, run.compute_s + run.optimizer_s + 5e-3);
+  EXPECT_TRUE(run.replicas_in_sync);
+}
+
+TEST(SchedulerTrainer, SchedulerStress) {
+  // The TSan target (-DGRACE_TSAN=ON, see the top-level CMakeLists): four
+  // worker threads driving bucketed submit/wait pipelines concurrently with
+  // tracing, metrics, and link faults attached — every shared surface of
+  // the scheduler path under one run.
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.n_workers = 4;
+  cfg.net.n_workers = 4;
+  cfg.epochs = 1;
+  cfg.grace.compressor_spec = "topk(0.1)";
+  cfg.fusion_bytes = size_t{20} * 1024;
+  cfg.time.overlap = true;
+  faults::FaultSpec spec;
+  spec.drop_prob = 0.02;
+  spec.corrupt_prob = 0.02;
+  faults::FaultPlan plan(spec);
+  cfg.faults = &plan;
+  Trace trace(cfg.n_workers);
+  cfg.trace = &trace;
+  MetricRegistry metrics(cfg.n_workers);
+  cfg.metrics = &metrics;
+  RunResult run = train(b.factory, cfg);
+  EXPECT_TRUE(run.replicas_in_sync);
+  EXPECT_GT(run.iteration_s, 0.0);
+  bool saw_sched_counter = false;
+  for (const auto& c : run.metric_counters) {
+    if (c.name == "sched.bucket_exchanges") {
+      saw_sched_counter = true;
+      EXPECT_GT(c.value, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_sched_counter);
+  // Overlap is visible in the trace: some bucket stage starts before the
+  // iteration's compute has finished.
+  bool overlapped_event = false;
+  for (const TraceEvent& ev : trace.events()) {
+    if (ev.phase == Phase::Comm && ev.start_s >= 0.0 &&
+        ev.start_s < run.compute_s) {
+      overlapped_event = true;
+    }
+  }
+  EXPECT_TRUE(overlapped_event);
+}
+
+}  // namespace
+}  // namespace grace::sim

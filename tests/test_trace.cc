@@ -245,7 +245,7 @@ TEST(TraceSmoke, TensorTraceCoversEveryGradientTensor) {
 
 TEST(TraceSmoke, FusedRunTracesOneBucket) {
   TinyRun r = tiny_run();
-  r.cfg.fuse_tensors = true;
+  r.cfg.fusion_bytes = SIZE_MAX;
   Trace trace(r.cfg.n_workers);
   r.cfg.trace = &trace;
   RunResult run = train(r.factory, r.cfg);

@@ -1,6 +1,7 @@
 // Trainer features beyond the core loop: tensor fusion, learning-rate
 // schedules, and the fixed per-tensor compression overhead accounting.
 #include <gtest/gtest.h>
+#include <cstdint>
 
 #include "sim/tasks.h"
 
@@ -20,7 +21,7 @@ TrainConfig tiny_config(const Benchmark& b) {
 TEST(Fusion, ReplicasStaySynced) {
   Benchmark b = tiny_cnn();
   TrainConfig cfg = tiny_config(b);
-  cfg.fuse_tensors = true;
+  cfg.fusion_bytes = SIZE_MAX;
   for (const char* spec : {"none", "topk(0.1)", "qsgd(16)"}) {
     cfg.grace.compressor_spec = spec;
     RunResult run = train(b.factory, cfg);
@@ -37,7 +38,7 @@ TEST(Fusion, BaselineFusedEqualsUnfused) {
   TrainConfig cfg = tiny_config(b);
   cfg.grace.compressor_spec = "none";
   RunResult unfused = train(b.factory, cfg);
-  cfg.fuse_tensors = true;
+  cfg.fusion_bytes = SIZE_MAX;
   RunResult fused = train(b.factory, cfg);
   EXPECT_NEAR(unfused.final_quality, fused.final_quality, 1e-6);
 }
@@ -49,7 +50,7 @@ TEST(Fusion, OneExchangePerIteration) {
   TrainConfig cfg = tiny_config(b);
   cfg.grace.compressor_spec = "topk(0.1)";
   RunResult unfused = train(b.factory, cfg);
-  cfg.fuse_tensors = true;
+  cfg.fusion_bytes = SIZE_MAX;
   RunResult fused = train(b.factory, cfg);
   // Global top-k over d ~= sum of per-tensor top-k counts (rounding of
   // max(1, 0.1*n) differs for small tensors).
@@ -63,7 +64,7 @@ TEST(Fusion, GlobalTopkPrioritizesAcrossLayers) {
   Benchmark b = tiny_cnn();
   TrainConfig cfg = tiny_config(b);
   cfg.grace.compressor_spec = "topk(0.05)";
-  cfg.fuse_tensors = true;
+  cfg.fusion_bytes = SIZE_MAX;
   RunResult run = train(b.factory, cfg);
   EXPECT_TRUE(run.replicas_in_sync);
 }
@@ -108,7 +109,7 @@ TEST(FixedOverhead, FusionAmortizesIt) {
   cfg.time.compression_fixed_per_tensor = 1e-3;
   cfg.grace.compressor_spec = "signsgd";
   const double per_tensor = train(b.factory, cfg).compress_s;
-  cfg.fuse_tensors = true;
+  cfg.fusion_bytes = SIZE_MAX;
   const double fused = train(b.factory, cfg).compress_s;
   EXPECT_LT(fused, per_tensor);
 }
