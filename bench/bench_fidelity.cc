@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/context.h"
 #include "sim/fidelity.h"
 #include "sim/metric_registry.h"
 #include "sim/tasks.h"
@@ -44,20 +45,30 @@ int main(int argc, char** argv) {
 
   // A Table I cross-section: quantizers (1-bit through 8-bit, stochastic
   // and deterministic), sparsifiers (top-k family), the EF-centric method
-  // and a low-rank method.
-  const std::vector<std::string> compressors = {
-      "eightbit",    "onebit",       "signsgd",   "qsgd(64)",
-      "terngrad",    "natural",      "topk(0.01)", "randomk(0.01)",
-      "dgc(0.01)",   "efsignsgd",    "powersgd(4)"};
+  // and a low-rank method. Sparsifiers run twice — raw-index wire and with
+  // the lossless Rice wire stage — so the JSON lands the lossy x lossless
+  // achieved ratio side by side.
+  struct Run {
+    std::string spec;
+    core::WireCodec wire_codec = core::WireCodec::None;
+  };
+  const std::vector<Run> compressors = {
+      {"eightbit"},      {"onebit"},
+      {"signsgd"},       {"qsgd(64)"},
+      {"terngrad"},      {"natural"},
+      {"topk(0.01)"},    {"topk(0.01)", core::WireCodec::Rice},
+      {"randomk(0.01)"}, {"randomk(0.01)", core::WireCodec::Rice},
+      {"dgc(0.01)"},     {"dgc(0.01)", core::WireCodec::Rice},
+      {"efsignsgd"},     {"powersgd(4)"}};
 
   sim::Benchmark bench = sim::make_cnn_classification(scale * 0.3);
 
   std::printf("Compression fidelity: %s, %s — what the wire ratio costs\n\n",
               bench.model.c_str(), bench.dataset.c_str());
-  std::printf("%-15s %-22s %9s %9s %9s %9s %9s %9s\n", "compressor", "tensor",
-              "ratio", "rel_err", "cosine", "sign_agr", "resid_l2",
-              "p99_cmp_us");
-  bench::print_rule(100);
+  std::printf("%-22s %-22s %9s %9s %9s %9s %9s %9s %9s\n", "compressor",
+              "tensor", "ratio", "lossless", "rel_err", "cosine", "sign_agr",
+              "resid_l2", "p99_cmp_us");
+  bench::print_rule(116);
 
   std::FILE* out = std::fopen("BENCH_fidelity.json", "w");
   if (!out) {
@@ -69,9 +80,11 @@ int main(int argc, char** argv) {
   std::fprintf(out, "\"runs\":[");
 
   bool first = true;
-  for (const std::string& spec : compressors) {
+  for (const Run& r : compressors) {
+    const std::string& spec = r.spec;
     sim::TrainConfig cfg = sim::default_config(bench);
     cfg.grace.compressor_spec = spec;
+    cfg.grace.wire_codec = r.wire_codec;
     bench::apply_paper_overrides(spec, cfg, /*classification_task=*/true);
 
     sim::CompressionFidelityProbe probe(cfg.n_workers, every_k);
@@ -85,17 +98,23 @@ int main(int argc, char** argv) {
     for (const auto& h : run.metric_histograms) {
       if (h.name == "exchange.compress_ns") p99_compress_us = h.percentile(0.99) * 1e-3;
     }
-    for (const auto& t : run.fidelity) {
-      std::printf("%-15s %-22s %9.2f %9.4f %9.4f %9.4f %9.2e %9.2f\n",
-                  spec.c_str(), t.name.c_str(), t.compression_ratio,
-                  t.l2_rel_error, t.cosine_similarity, t.sign_agreement,
-                  t.residual_l2, p99_compress_us);
+    std::string label = spec;
+    if (r.wire_codec != core::WireCodec::None) {
+      label += "+";
+      label += core::wire_codec_name(r.wire_codec);
     }
-    bench::print_rule(100);
+    for (const auto& t : run.fidelity) {
+      std::printf("%-22s %-22s %9.2f %9.2f %9.4f %9.4f %9.4f %9.2e %9.2f\n",
+                  label.c_str(), t.name.c_str(), t.compression_ratio,
+                  t.lossless_ratio, t.l2_rel_error, t.cosine_similarity,
+                  t.sign_agreement, t.residual_l2, p99_compress_us);
+    }
+    bench::print_rule(116);
 
     if (!first) std::fprintf(out, ",");
     first = false;
-    std::fprintf(out, "{\"compressor\":\"%s\",\"result\":%s}", spec.c_str(),
+    std::fprintf(out, "{\"compressor\":\"%s\",\"wire_codec\":\"%s\",\"result\":%s}",
+                 spec.c_str(), core::wire_codec_name(r.wire_codec),
                  sim::run_result_json(run).c_str());
   }
   std::fprintf(out, "]}\n");

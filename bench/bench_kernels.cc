@@ -1,15 +1,26 @@
 // Kernel micro-benchmarks for the parallel compute runtime: serial seed
 // kernels vs. the blocked/parallel kernels at several sizes and thread
-// counts. Prints a table and writes BENCH_kernels.json so successive PRs
+// counts, plus the single-thread codec kernels (quantize/pack/sign-pack
+// scalar vs SIMD, varint/rice index coding vs the seed bit-at-a-time
+// writer). Prints a table and writes BENCH_kernels.json so successive PRs
 // can track the compute substrate's perf trajectory.
 //
 // GRACE_SCALE=<f> (default 1.0) scales the problem sizes for smoke runs.
+//
+//   bench_kernels --check BENCH_kernels.baseline.json
+//
+// reruns only the codec rows and fails (exit 1) when a measured
+// scalar-vs-SIMD speedup drops more than 15% below the committed
+// baseline's min_speedup. Speedups are ratios within one run, so the
+// check is robust to absolute machine speed; it is registered as a
+// slow-labelled ctest.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <span>
 #include <string>
@@ -17,10 +28,12 @@
 #include <vector>
 
 #include "core/helper_ops.h"
+#include "core/index_coding.h"
 #include "runtime/thread_pool.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
 #include "tensor/rng.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -80,6 +93,44 @@ std::vector<uint8_t> seed_quantize(std::span<const float> x, int bits,
   return codes;
 }
 
+// --- Seed index coding: the pre-64-bit bit-at-a-time writer, kept as the
+// --- fixed baseline for the rice row (varint was always byte-level).
+
+struct SeedBitWriter {
+  std::vector<uint8_t> bytes;
+  uint32_t acc = 0;
+  int fill = 0;
+  void put_bit(uint32_t b) {
+    acc |= (b & 1u) << fill;
+    if (++fill == 8) {
+      bytes.push_back(static_cast<uint8_t>(acc));
+      acc = 0;
+      fill = 0;
+    }
+  }
+  void put_bits(uint32_t v, int c) {
+    for (int i = 0; i < c; ++i) put_bit((v >> i) & 1u);
+  }
+  std::vector<uint8_t> finish() {
+    if (fill > 0) bytes.push_back(static_cast<uint8_t>(acc));
+    return std::move(bytes);
+  }
+};
+
+std::vector<uint8_t> seed_rice_encode(std::span<const int32_t> indices, int k) {
+  SeedBitWriter w;
+  w.put_bits(static_cast<uint32_t>(k), 5);
+  int32_t prev = -1;
+  for (int32_t idx : indices) {
+    auto delta = static_cast<uint32_t>(idx - prev - 1);
+    prev = idx;
+    for (uint32_t q = delta >> k; q > 0; --q) w.put_bit(1);
+    w.put_bit(0);
+    w.put_bits(delta & ((1u << k) - 1), k);
+  }
+  return w.finish();
+}
+
 // --- Timing: repeat until ~0.3 s elapsed, report best-of-rep seconds.
 
 template <typename Fn>
@@ -135,10 +186,177 @@ struct JsonWriter {
 
 int threads_cap() { return 4; }
 
+// --- Codec kernels: scalar baseline vs optimized within one run, so the
+// --- speedup column is a ratio independent of absolute machine speed.
+// --- pack/pack_signs pin the same grace::util::simd entry point to the
+// --- scalar path via set_level_for_testing (bit packing does not
+// --- auto-vectorize, so that is genuinely scalar code); quantize8 uses
+// --- the seed's lround loop as baseline because the portable scalar
+// --- fallback itself is auto-vectorized by the compiler at -O3; rice uses
+// --- the seed bit-at-a-time writer; varint is byte-level and unchanged.
+
+struct CodecRow {
+  std::string kernel;
+  double baseline_seconds = 0.0;  // scalar path (or seed bit-writer)
+  double seconds = 0.0;           // active SIMD path (or 64-bit writer)
+  double bytes = 0.0;             // input bytes processed per call
+  double speedup() const { return baseline_seconds / seconds; }
+  double gb_per_s() const { return bytes / seconds / 1e9; }
+};
+
+std::vector<CodecRow> run_codec_rows(int64_t n) {
+  namespace simd = grace::util::simd;
+  std::vector<CodecRow> rows;
+  std::vector<float> x(static_cast<size_t>(n));
+  Rng rng(23);
+  rng.fill_normal(x, 0.0f, 1.0f);
+  const float scale = grace::ops::linf_norm(x);
+  std::vector<uint8_t> codes(static_cast<size_t>(n));
+  std::vector<uint8_t> packed(static_cast<size_t>(n));
+  volatile uint8_t sink = 0;
+
+  // Times one kernel under the scalar override, then at the detected level.
+  auto scalar_vs_simd = [&](const char* name, double bytes, auto&& fn) {
+    simd::set_level_for_testing(simd::Level::Scalar);
+    const double sc = time_best(fn);
+    simd::clear_level_for_testing();
+    const double si = time_best(fn);
+    rows.push_back({name, sc, si, bytes});
+  };
+
+  {
+    // Baseline: the seed's genuinely-scalar lround loop (non-allocating).
+    const double seed_s = time_best([&] {
+      for (size_t i = 0; i < x.size(); ++i) {
+        const float t = (x[i] / scale + 1.0f) * 0.5f * 255.0f;
+        codes[i] = static_cast<uint8_t>(std::lround(std::clamp(t, 0.0f, 255.0f)));
+      }
+      sink = codes[0];
+    });
+    const double opt_s = time_best([&] {
+      simd::quantize_codes(x.data(), codes.data(), n, scale, 255);
+      sink = codes[0];
+    });
+    rows.push_back({"quantize8", seed_s, opt_s, 4.0 * static_cast<double>(n)});
+  }
+  for (int bits : {1, 2, 4}) {
+    std::vector<uint8_t> narrow(static_cast<size_t>(n));
+    const auto mask = static_cast<uint8_t>((1 << bits) - 1);
+    for (size_t i = 0; i < narrow.size(); ++i) narrow[i] = codes[i] & mask;
+    char name[16];
+    std::snprintf(name, sizeof(name), "pack%d", bits);
+    scalar_vs_simd(name, static_cast<double>(n), [&] {
+      simd::pack_codes(narrow.data(), packed.data(), n, bits);
+      sink = packed[0];
+    });
+  }
+  scalar_vs_simd("pack_signs", 4.0 * static_cast<double>(n), [&] {
+    simd::pack_sign_bits(x.data(), packed.data(), n);
+    sink = packed[0];
+  });
+
+  // Index coding on a 1%-sparse list over [0, n).
+  const int64_t k = std::max<int64_t>(1, n / 100);
+  Rng irng(29);
+  auto indices = irng.sample_indices(n, k);
+  const double ibytes = 4.0 * static_cast<double>(k);
+  {
+    const double seed_s = time_best([&] {
+      sink = grace::core::varint_encode_indices(indices).u8()[0];
+    });
+    // varint stayed byte-level this PR; baseline == optimized by design.
+    rows.push_back({"varint", seed_s, seed_s, ibytes});
+  }
+  {
+    const double seed_s =
+        time_best([&] { sink = seed_rice_encode(indices, 6)[0]; });
+    const double opt_s = time_best(
+        [&] { sink = grace::core::rice_encode_indices(indices, 6).u8()[0]; });
+    rows.push_back({"rice", seed_s, opt_s, ibytes});
+  }
+  (void)sink;
+  return rows;
+}
+
+void print_codec_rows(const std::vector<CodecRow>& rows, int64_t n) {
+  namespace simd = grace::util::simd;
+  std::printf("%-18s %12s %12s %9s   (simd level: %s, n=%lld)\n", "codec",
+              "scalar GB/s", "simd GB/s", "speedup",
+              simd::level_name(simd::active_level()),
+              static_cast<long long>(n));
+  for (const auto& r : rows) {
+    std::printf("%-18s %12.2f %12.2f %8.2fx\n", r.kernel.c_str(),
+                r.bytes / r.baseline_seconds / 1e9, r.gb_per_s(), r.speedup());
+  }
+}
+
+// --check: compare this run's codec speedups against the committed
+// baseline. The baseline stores min_speedup floors set ~15% under a
+// measured run (see BENCH_kernels.baseline.json); a speedup below its
+// floor is a regression beyond run-to-run noise and fails the check.
+int run_check(const char* baseline_path) {
+  std::FILE* f = std::fopen(baseline_path, "rb");
+  if (!f) {
+    std::fprintf(stderr, "cannot open baseline %s\n", baseline_path);
+    return 1;
+  }
+  std::string json;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) json.append(buf, got);
+  std::fclose(f);
+
+  int64_t n = 1 << 21;  // smaller than the full bench: the check is a ctest
+  if (const char* s = std::getenv("GRACE_SCALE")) {
+    n = std::max<int64_t>(1 << 12, static_cast<int64_t>(n * std::atof(s)));
+  }
+  const auto rows = run_codec_rows(n);
+  print_codec_rows(rows, n);
+
+  namespace simd = grace::util::simd;
+  if (simd::active_level() == simd::Level::Scalar &&
+      simd::detected_level() != simd::Level::Scalar) {
+    // GRACE_NO_SIMD pins scalar: every ratio is ~1x by construction, so
+    // floor enforcement would only measure the env var. Skip.
+    std::printf("SIMD disabled by environment; skipping speedup floors\n");
+    return 0;
+  }
+  int rc = 0;
+  int matched = 0;
+  for (const auto& r : rows) {
+    const std::string key = "\"kernel\":\"" + r.kernel + "\"";
+    const size_t at = json.find(key);
+    if (at == std::string::npos) continue;  // row not tracked in baseline
+    const size_t ms = json.find("\"min_speedup\":", at);
+    if (ms == std::string::npos) continue;
+    const double floor = std::atof(json.c_str() + ms + 14);
+    if (r.speedup() < floor) {
+      std::fprintf(stderr,
+                   "FAIL %s: speedup %.2fx below baseline floor %.2fx\n",
+                   r.kernel.c_str(), r.speedup(), floor);
+      rc = 1;
+    } else {
+      std::printf("ok   %-12s %.2fx >= floor %.2fx\n", r.kernel.c_str(),
+                  r.speedup(), floor);
+    }
+    ++matched;
+  }
+  if (matched == 0) {
+    // A format drift between baseline and parser must not pass silently.
+    std::fprintf(stderr, "FAIL: no codec rows matched the baseline at %s\n",
+                 baseline_path);
+    rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace grace;
+  if (argc >= 3 && std::strcmp(argv[1], "--check") == 0) {
+    return run_check(argv[2]);
+  }
   double scale = 1.0;
   if (const char* s = std::getenv("GRACE_SCALE")) scale = std::atof(s);
   auto scaled = [&](int64_t v) {
@@ -313,6 +531,34 @@ int main() {
     out.key("seed_seconds"); out.num(seed_s);
     out.key("runtime_seconds"); out.num(par_s);
     out.key("speedup"); out.num(seed_s / par_s);
+    out.end("}");
+  }
+  out.end("]");
+  std::printf("\n");
+
+  // ---- Codec kernels: scalar vs SIMD (single thread) -------------------
+  out.key("simd_level");
+  out.sep();
+  std::fprintf(out.f, "\"%s\"",
+               util::simd::level_name(util::simd::active_level()));
+  out.first_in_scope = false;
+  out.key("codec");
+  out.begin("[");
+  const int64_t cn = scaled(1 << 22);
+  const auto codec_rows = run_codec_rows(cn);
+  print_codec_rows(codec_rows, cn);
+  for (const auto& r : codec_rows) {
+    out.begin("{");
+    out.key("kernel");
+    out.sep();
+    std::fprintf(out.f, "\"%s\"", r.kernel.c_str());
+    out.first_in_scope = false;
+    out.key("n"); out.inum(cn);
+    out.key("scalar_seconds"); out.num(r.baseline_seconds);
+    out.key("simd_seconds"); out.num(r.seconds);
+    out.key("scalar_gb_per_s"); out.num(r.bytes / r.baseline_seconds / 1e9);
+    out.key("gb_per_s"); out.num(r.gb_per_s());
+    out.key("speedup"); out.num(r.speedup());
     out.end("}");
   }
   out.end("]");

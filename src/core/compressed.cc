@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/index_coding.h"
 #include "util/crc32.h"
 
 namespace grace::core {
@@ -79,6 +80,28 @@ Shape get_shape(ByteReader& r) {
   return Shape(std::move(dims));
 }
 
+// Position of part j in ctx.index_parts, or -1 when j is not wire-coded.
+int coded_slot(const Context& ctx, uint32_t part) {
+  if (ctx.wire_codec == WireCodec::None) return -1;
+  for (size_t s = 0; s < ctx.index_parts.size(); ++s) {
+    if (ctx.index_parts[s] == static_cast<int32_t>(part)) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+Tensor encode_indices(std::span<const int32_t> indices, WireCodec codec) {
+  return codec == WireCodec::Varint ? varint_encode_indices(indices)
+                                    : rice_encode_indices(indices);
+}
+
+std::vector<int32_t> decode_indices(const Tensor& encoded, int64_t n,
+                                    WireCodec codec) {
+  return codec == WireCodec::Varint ? varint_decode_indices(encoded, n)
+                                    : rice_decode_indices(encoded, n);
+}
+
 }  // namespace
 
 uint64_t CompressedTensor::storage_bytes() const {
@@ -87,13 +110,80 @@ uint64_t CompressedTensor::storage_bytes() const {
   return total;
 }
 
+void apply_wire_codec(CompressedTensor& ct, WireCodec codec) {
+  ct.coded_indices.clear();
+  ct.ctx.wire_codec = WireCodec::None;
+  ct.ctx.raw_wire_bits = 0;
+  if (codec == WireCodec::None || ct.ctx.index_parts.empty()) return;
+
+  std::vector<int32_t> kept;
+  std::vector<Tensor> coded;
+  uint64_t saved_bits = 0;
+  for (int32_t pi : ct.ctx.index_parts) {
+    if (pi < 0 || static_cast<size_t>(pi) >= ct.parts.size()) {
+      throw std::invalid_argument(
+          "apply_wire_codec: index_parts entry out of range");
+    }
+    const Tensor& part = ct.parts[static_cast<size_t>(pi)];
+    if (part.dtype() != DType::I32) {
+      throw std::invalid_argument(
+          "apply_wire_codec: tagged part is not an i32 index tensor");
+    }
+    const auto idx = part.i32();
+    int32_t prev = -1;
+    for (int32_t v : idx) {
+      if (v <= prev) {
+        throw std::invalid_argument(
+            "apply_wire_codec: index part must be non-negative and strictly "
+            "increasing");
+      }
+      prev = v;
+    }
+    Tensor enc = encode_indices(idx, codec);
+    const uint64_t raw_bits = static_cast<uint64_t>(idx.size()) * 32;
+    const uint64_t coded_bits = static_cast<uint64_t>(enc.size_bytes()) * 8;
+    if (coded_bits >= raw_bits) continue;  // coding loses; ship raw
+    saved_bits += raw_bits - coded_bits;
+    kept.push_back(pi);
+    coded.push_back(std::move(enc));
+  }
+  if (kept.empty()) return;
+  ct.ctx.raw_wire_bits = ct.ctx.wire_bits;
+  ct.ctx.wire_bits -= saved_bits;
+  ct.ctx.wire_codec = codec;
+  ct.ctx.index_parts = std::move(kept);
+  ct.coded_indices = std::move(coded);
+}
+
 Tensor serialize(const CompressedTensor& ct) {
   ByteWriter w;
+  // Wire-stage header first: deserialize must know which parts are coded
+  // before it reads them.
+  w.put<uint8_t>(static_cast<uint8_t>(ct.ctx.wire_codec));
+  w.put<uint32_t>(static_cast<uint32_t>(ct.ctx.index_parts.size()));
+  for (int32_t pi : ct.ctx.index_parts) w.put<int32_t>(pi);
   w.put<uint32_t>(static_cast<uint32_t>(ct.parts.size()));
-  for (const auto& p : ct.parts) {
+  for (uint32_t j = 0; j < ct.parts.size(); ++j) {
+    const Tensor& p = ct.parts[j];
     w.put<uint8_t>(static_cast<uint8_t>(p.dtype()));
     put_shape(w, p.shape());
-    w.put_bytes(p.bytes());
+    const int slot = coded_slot(ct.ctx, j);
+    if (slot < 0) {
+      w.put_bytes(p.bytes());
+      continue;
+    }
+    // Coded part: u32 byte length + the delta-coded payload. Use the
+    // cache when apply_wire_codec left one; re-encode otherwise.
+    Tensor enc;
+    const Tensor* encp = nullptr;
+    if (static_cast<size_t>(slot) < ct.coded_indices.size()) {
+      encp = &ct.coded_indices[static_cast<size_t>(slot)];
+    } else {
+      enc = encode_indices(p.i32(), ct.ctx.wire_codec);
+      encp = &enc;
+    }
+    w.put<uint32_t>(static_cast<uint32_t>(encp->size_bytes()));
+    w.put_bytes(encp->bytes());
   }
   put_shape(w, ct.ctx.shape);
   w.put<uint32_t>(static_cast<uint32_t>(ct.ctx.scalars.size()));
@@ -101,6 +191,7 @@ Tensor serialize(const CompressedTensor& ct) {
   w.put<uint32_t>(static_cast<uint32_t>(ct.ctx.ints.size()));
   for (int64_t i : ct.ctx.ints) w.put<int64_t>(i);
   w.put<uint64_t>(ct.ctx.wire_bits);
+  w.put<uint64_t>(ct.ctx.raw_wire_bits);
   w.seal_crc32();
   return w.finish();
 }
@@ -115,13 +206,35 @@ CompressedTensor deserialize(const Tensor& blob) {
   }
   ByteReader r(frame.first(frame.size() - util::kFrameCrcBytes));
   CompressedTensor ct;
+  ct.ctx.wire_codec = static_cast<WireCodec>(r.get<uint8_t>());
+  const auto n_index_parts = r.get<uint32_t>();
+  ct.ctx.index_parts.resize(n_index_parts);
+  for (auto& pi : ct.ctx.index_parts) pi = r.get<int32_t>();
   const auto n_parts = r.get<uint32_t>();
   ct.parts.reserve(n_parts);
-  for (uint32_t i = 0; i < n_parts; ++i) {
+  if (ct.ctx.wire_codec != WireCodec::None) {
+    ct.coded_indices.resize(ct.ctx.index_parts.size());
+  }
+  for (uint32_t j = 0; j < n_parts; ++j) {
     const auto dtype = static_cast<DType>(r.get<uint8_t>());
     Shape shape = get_shape(r);
     Tensor t(dtype, std::move(shape));
-    r.get_bytes(t.bytes());
+    const int slot = coded_slot(ct.ctx, j);
+    if (slot < 0) {
+      r.get_bytes(t.bytes());
+    } else {
+      if (dtype != DType::I32) {
+        throw std::runtime_error(
+            "CompressedTensor deserialize: coded part is not i32");
+      }
+      const auto coded_len = r.get<uint32_t>();
+      Tensor enc(DType::U8, Shape{{static_cast<int64_t>(coded_len)}});
+      r.get_bytes(enc.bytes());
+      const std::vector<int32_t> idx =
+          decode_indices(enc, t.numel(), ct.ctx.wire_codec);
+      std::copy(idx.begin(), idx.end(), t.i32().begin());
+      ct.coded_indices[static_cast<size_t>(slot)] = std::move(enc);
+    }
     ct.parts.push_back(std::move(t));
   }
   ct.ctx.shape = get_shape(r);
@@ -132,6 +245,7 @@ CompressedTensor deserialize(const Tensor& blob) {
   ct.ctx.ints.resize(n_ints);
   for (auto& i : ct.ctx.ints) i = r.get<int64_t>();
   ct.ctx.wire_bits = r.get<uint64_t>();
+  ct.ctx.raw_wire_bits = r.get<uint64_t>();
   return ct;
 }
 

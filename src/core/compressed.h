@@ -14,6 +14,11 @@ namespace grace::core {
 
 struct CompressedTensor {
   std::vector<Tensor> parts;
+  // Lossless wire stage cache: the delta-coded payloads for the parts in
+  // ctx.index_parts, filled by apply_wire_codec (and by deserialize).
+  // Purely a wire-format artifact — decompress() always reads the raw
+  // parts, which stay intact.
+  std::vector<Tensor> coded_indices;
   Context ctx;
 
   // Logical wire size (ideal bit packing), rounded up to whole bytes.
@@ -23,7 +28,22 @@ struct CompressedTensor {
   uint64_t storage_bytes() const;
 };
 
+// Run the lossless wire stage: delta-code every part tagged in
+// ctx.index_parts with `codec` (core/index_coding.h), caching the coded
+// payloads in coded_indices and shrinking ctx.wire_bits to the coded size
+// (ctx.raw_wire_bits keeps the pre-coding figure). Parts where the coded
+// form is not strictly smaller ship raw and drop out of index_parts, so a
+// pathological index list can never grow the wire. Throws
+// std::invalid_argument if a tagged part is not an i32 tensor holding
+// non-negative, strictly increasing indices. A no-op for WireCodec::None
+// or untagged payloads.
+void apply_wire_codec(CompressedTensor& ct, WireCodec codec);
+
 // Serialize to a flat byte tensor and back. Round-trip is bit-exact.
+// Parts coded by apply_wire_codec travel in their coded form — the frame
+// is really smaller, not just accounted smaller — and deserialize expands
+// them back to identical i32 parts (re-encoding on the fly if the cache
+// is empty, e.g. after a deserialize/serialize bounce).
 // The frame carries a CRC32 trailer (util/crc32.h): deserialize verifies
 // it and throws std::runtime_error on any corruption or truncation, so a
 // damaged payload is detected and retransmitted (docs/RESILIENCE.md)

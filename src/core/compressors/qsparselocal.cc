@@ -38,6 +38,8 @@ class QsparseLocal final : public Compressor {
     ct.ctx.ints = {static_cast<int64_t>(indices.size()), bits_};
     ct.ctx.wire_bits =
         static_cast<uint64_t>(indices.size()) * (32 + static_cast<uint64_t>(bits_)) + 32;
+    // Part 1 is a sorted index list: eligible for the lossless wire stage.
+    ct.ctx.index_parts = {1};
     return ct;
   }
 

@@ -24,6 +24,8 @@ class RandomK final : public Compressor {
     ct.ctx.shape = grad.shape();
     ct.ctx.ints = {unbiased_ ? 1 : 0};
     ct.ctx.wire_bits = static_cast<uint64_t>(indices.size()) * 64;
+    // Part 1 is a sorted index list: eligible for the lossless wire stage.
+    ct.ctx.index_parts = {1};
     return ct;
   }
 

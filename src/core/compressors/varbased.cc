@@ -57,6 +57,8 @@ class VarianceBased final : public Compressor {
     ct.parts = {std::move(values), Tensor::from_i32(indices)};
     ct.ctx.shape = grad.shape();
     ct.ctx.wire_bits = static_cast<uint64_t>(indices.size()) * 64;
+    // Part 1 is a sorted index list: eligible for the lossless wire stage.
+    ct.ctx.index_parts = {1};
     return ct;
   }
 

@@ -38,6 +38,7 @@ ExchangeStats& ExchangeStats::operator+=(const ExchangeStats& o) {
 GraceWorker::GraceWorker(const GraceConfig& cfg, comm::Comm comm,
                          comm::NetworkModel net, uint64_t rng_seed)
     : topology_(cfg.topology),
+      wire_codec_(cfg.wire_codec),
       q_(make_compressor(cfg.compressor_spec)),
       comm_(comm),
       net_(net),
@@ -74,6 +75,12 @@ ExchangeHandle GraceWorker::submit(const Tensor& grad, const std::string& name,
   const double t0 = sp ? now_seconds() : 0.0;
   Tensor compensated = memory_->compensate(grad, name);
   h.payload = q_->compress(compensated, name, rng_);
+  // Lossless wire stage, inside the timed region: the coding cost lands in
+  // compress_seconds and the coded size in wire_bytes, so the scheduler's
+  // codec-rate pipeline and the NetworkModel both see the real trade.
+  if (wire_codec_ != WireCodec::None) {
+    apply_wire_codec(h.payload, wire_codec_);
+  }
   Tensor reconstruction;  // Q^-1(Q(phi)); only materialized when needed
   if (memory_->enabled()) {
     reconstruction = q_->decompress(h.payload);
@@ -136,6 +143,14 @@ void GraceWorker::probe_fidelity(const std::string& name,
                             ? static_cast<double>(s.dense_bits) /
                                   static_cast<double>(s.wire_bits)
                             : 0.0;
+  // raw_wire_bits == 0 means the lossless stage did not fire; report the
+  // wire size itself so lossless_ratio degenerates to exactly 1.
+  s.raw_wire_bits = compressed.ctx.raw_wire_bits > 0
+                        ? compressed.ctx.raw_wire_bits
+                        : s.wire_bits;
+  s.lossless_ratio = s.wire_bits > 0 ? static_cast<double>(s.raw_wire_bits) /
+                                           static_cast<double>(s.wire_bits)
+                                     : 1.0;
   s.grad_l2 = std::sqrt(xx);
   s.l2_rel_error = xx > 0.0 ? std::sqrt(d2 / xx) : 0.0;
   s.cosine_similarity = (xx > 0.0 && yy > 0.0)

@@ -62,6 +62,12 @@ struct GraceConfig {
   float ef_beta = 1.0f;   // beta in Eq. 4
   float ef_gamma = 1.0f;  // gamma in Eq. 4
   Topology topology = Topology::Collective;
+  // Lossless wire stage for sparse-index payloads (core/compressed.h):
+  // submit() runs apply_wire_codec on every compressed payload, inside the
+  // timed compression region, so compress_seconds, wire_bytes and the
+  // NetworkModel all see the coded wire format. None preserves the seed
+  // behavior (raw 32-bit indices) exactly.
+  WireCodec wire_codec = WireCodec::None;
 };
 
 class GraceWorker {
@@ -128,6 +134,7 @@ class GraceWorker {
                       const Tensor& reconstruction);
 
   Topology topology_;
+  WireCodec wire_codec_;
   std::unique_ptr<Compressor> q_;
   std::unique_ptr<Memory> memory_;
   comm::Comm comm_;

@@ -3,17 +3,36 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "runtime/thread_pool.h"
 #include "tensor/ops.h"
+#include "util/simd.h"
 
 namespace grace::core {
 namespace {
+
+namespace simd = util::simd;
 
 // Elementwise grain for the quantize/pack kernels. A multiple of 8 so a
 // pack() chunk always starts on a byte boundary for every bits setting,
 // making the packed-byte writes of different chunks disjoint.
 constexpr int64_t kQuantGrain = 8192;
+
+void check_quantize_bits(int bits) {
+  if (bits < 1 || bits > 8) {
+    throw std::invalid_argument("quantize: bits must be in [1, 8], got " +
+                                std::to_string(bits));
+  }
+}
+
+void check_pack_bits(int bits) {
+  if (bits != 1 && bits != 2 && bits != 4 && bits != 8) {
+    throw std::invalid_argument("pack: bits must be one of {1, 2, 4, 8}, got " +
+                                std::to_string(bits));
+  }
+}
 
 }  // namespace
 
@@ -22,32 +41,28 @@ Quantized quantize(std::span<const float> x, int bits) {
 }
 
 Quantized quantize(std::span<const float> x, int bits, float scale) {
-  assert(bits >= 1 && bits <= 8);
+  check_quantize_bits(bits);
   Quantized q;
   q.bits = bits;
   q.scale = scale;
   q.codes = Tensor(DType::U8, Shape{{static_cast<int64_t>(x.size())}});
   auto codes = q.codes.u8();
   const int levels = (1 << bits) - 1;
-  if (scale <= 0.0f) {
+  // A non-positive or non-finite scale (zero tensor, or a gradient that
+  // already blew up) means there is nothing to resolve: emit the midpoint
+  // code everywhere. The kernel itself requires a positive finite scale.
+  // Non-finite *elements* are handled inside the kernel (NaN -> midpoint,
+  // +/-Inf -> the clamp rails) so malformed gradients still produce
+  // deterministic codes instead of UB.
+  if (!(scale > 0.0f) || !std::isfinite(scale)) {
     std::fill(codes.begin(), codes.end(), static_cast<uint8_t>(levels / 2));
     return q;
   }
-  // Restrict-qualified locals: the uint8_t (char-typed) stores would
-  // otherwise be assumed to alias the captured scalars and the input,
-  // forcing reloads every iteration.
-  const float* __restrict__ xp = x.data();
-  uint8_t* __restrict__ cp = codes.data();
-  const float flevels = static_cast<float>(levels);
+  const float* xp = x.data();
+  uint8_t* cp = codes.data();
   runtime::parallel_for(
       static_cast<int64_t>(x.size()), kQuantGrain, [&](int64_t b, int64_t e) {
-        for (int64_t i = b; i < e; ++i) {
-          // Map [-scale, scale] -> [0, levels] with round-to-nearest.
-          const float t = (xp[i] / scale + 1.0f) * 0.5f * flevels;
-          const auto c = static_cast<int>(
-              std::lround(std::clamp(t, 0.0f, flevels)));
-          cp[i] = static_cast<uint8_t>(c);
-        }
+        simd::quantize_codes(xp + b, cp + b, e - b, scale, levels);
       });
   return q;
 }
@@ -61,22 +76,19 @@ void dequantize(const Quantized& q, std::span<float> out) {
   const float scale = q.scale;
   runtime::parallel_for(
       static_cast<int64_t>(out.size()), kQuantGrain, [&](int64_t b, int64_t e) {
-        for (int64_t i = b; i < e; ++i) {
-          op[i] = (static_cast<float>(cp[i]) / static_cast<float>(levels) *
-                       2.0f -
-                   1.0f) *
-                  scale;
-        }
+        simd::dequantize_values(cp + b, op + b, e - b, scale, levels);
       });
 }
 
 Tensor sparsify(std::span<const float> x, std::span<const int32_t> indices) {
   Tensor values(DType::F32, Shape{{static_cast<int64_t>(indices.size())}});
-  auto v = values.f32();
-  for (size_t i = 0; i < indices.size(); ++i) {
-    assert(indices[i] >= 0 && static_cast<size_t>(indices[i]) < x.size());
-    v[i] = x[static_cast<size_t>(indices[i])];
+#ifndef NDEBUG
+  for (int32_t idx : indices) {
+    assert(idx >= 0 && static_cast<size_t>(idx) < x.size());
   }
+#endif
+  simd::gather_f32(x.data(), indices.data(), values.f32().data(),
+                   static_cast<int64_t>(indices.size()));
   return values;
 }
 
@@ -93,58 +105,59 @@ Tensor desparsify(const Tensor& values, std::span<const int32_t> indices,
 }
 
 Tensor pack(std::span<const uint8_t> codes, int bits) {
-  assert(bits == 1 || bits == 2 || bits == 4 || bits == 8);
+  check_pack_bits(bits);
   const int per_byte = 8 / bits;
   const auto n_bytes =
       (static_cast<int64_t>(codes.size()) + per_byte - 1) / per_byte;
   Tensor packed(DType::U8, Shape{{n_bytes}});
   auto out = packed.u8();
-  std::fill(out.begin(), out.end(), 0);
-  const uint8_t mask = static_cast<uint8_t>((1 << bits) - 1);
   // kQuantGrain is a multiple of every per_byte value, so chunks begin on
-  // byte boundaries and each output byte is written by exactly one chunk.
+  // byte boundaries and each output byte is written by exactly one chunk
+  // (the kernel fully produces every byte it owns; no read-modify-write).
   const uint8_t* cp = codes.data();
   uint8_t* op = out.data();
   runtime::parallel_for(
       static_cast<int64_t>(codes.size()), kQuantGrain,
       [&](int64_t b, int64_t e) {
-        for (int64_t i = b; i < e; ++i) {
-          const auto byte = static_cast<size_t>(i / per_byte);
-          const int shift = static_cast<int>(i % per_byte) * bits;
-          op[byte] = static_cast<uint8_t>(op[byte] | ((cp[i] & mask) << shift));
-        }
+        simd::pack_codes(cp + b, op + b / per_byte, e - b, bits);
       });
   return packed;
 }
 
 std::vector<uint8_t> unpack(const Tensor& packed, int bits, int64_t n) {
-  assert(bits == 1 || bits == 2 || bits == 4 || bits == 8);
+  check_pack_bits(bits);
   const int per_byte = 8 / bits;
-  const uint8_t mask = static_cast<uint8_t>((1 << bits) - 1);
   auto in = packed.u8();
   std::vector<uint8_t> codes(static_cast<size_t>(n));
   const uint8_t* ip = in.data();
   uint8_t* cp = codes.data();
   assert(static_cast<int64_t>(in.size()) >= (n + per_byte - 1) / per_byte);
   runtime::parallel_for(n, kQuantGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) {
-      const auto byte = static_cast<size_t>(i / per_byte);
-      const int shift = static_cast<int>(i % per_byte) * bits;
-      cp[i] = static_cast<uint8_t>((ip[byte] >> shift) & mask);
-    }
+    simd::unpack_codes(ip + b / per_byte, cp + b, e - b, bits);
   });
   return codes;
 }
 
 Tensor pack_signs(std::span<const float> x) {
-  std::vector<uint8_t> bits(x.size());
-  for (size_t i = 0; i < x.size(); ++i) bits[i] = x[i] >= 0.0f ? 1 : 0;
-  return pack(bits, 1);
+  const auto n = static_cast<int64_t>(x.size());
+  Tensor packed(DType::U8, Shape{{(n + 7) / 8}});
+  const float* xp = x.data();
+  uint8_t* op = packed.u8().data();
+  // Straight from floats to the bitmask — no intermediate code vector.
+  runtime::parallel_for(n, kQuantGrain, [&](int64_t b, int64_t e) {
+    simd::pack_sign_bits(xp + b, op + b / 8, e - b);
+  });
+  return packed;
 }
 
 void unpack_signs(const Tensor& packed, std::span<float> out) {
-  const auto codes = unpack(packed, 1, static_cast<int64_t>(out.size()));
-  for (size_t i = 0; i < out.size(); ++i) out[i] = codes[i] ? 1.0f : -1.0f;
+  const auto n = static_cast<int64_t>(out.size());
+  assert(static_cast<int64_t>(packed.u8().size()) >= (n + 7) / 8);
+  const uint8_t* ip = packed.u8().data();
+  float* op = out.data();
+  runtime::parallel_for(n, kQuantGrain, [&](int64_t b, int64_t e) {
+    simd::unpack_sign_values(ip + b / 8, op + b, e - b);
+  });
 }
 
 }  // namespace grace::core

@@ -14,7 +14,12 @@ namespace grace::core {
 
 // Uniform symmetric quantization of x into 2^bits levels over [-scale, scale]
 // (scale = max |x| unless given). Returns codes in [0, 2^bits - 1];
-// dequantize maps code -> value. bits must be in [1, 8].
+// dequantize maps code -> value. Throws std::invalid_argument unless bits
+// is in [1, 8]. Non-finite elements map to deterministic codes: NaN to the
+// midpoint code (dequantizes near 0), +/-Inf to the clamp rails; a
+// non-positive or NaN scale emits the midpoint code everywhere.
+// The hot loops dispatch through util/simd.h; every SIMD level produces
+// bit-identical codes (GRACE_NO_SIMD=1 reproduces the default run).
 struct Quantized {
   Tensor codes;  // u8, one code per element
   float scale = 0.0f;
@@ -30,8 +35,11 @@ Tensor sparsify(std::span<const float> x, std::span<const int32_t> indices);
 Tensor desparsify(const Tensor& values, std::span<const int32_t> indices,
                   const Shape& shape);
 
-// Pack n code words of `bits` bits each (bits in {1,2,4,8}) into a dense u8
-// tensor (little-endian within each byte). unpack restores the code words.
+// Pack n code words of `bits` bits each into a dense u8 tensor
+// (little-endian within each byte). unpack restores the code words.
+// Throws std::invalid_argument unless bits is one of {1, 2, 4, 8} — the
+// release build strips asserts, so this must be a real check: a bad width
+// would silently corrupt every code word on the wire.
 Tensor pack(std::span<const uint8_t> codes, int bits);
 std::vector<uint8_t> unpack(const Tensor& packed, int bits, int64_t n);
 

@@ -1,52 +1,113 @@
 #include "core/index_coding.h"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
 
 namespace grace::core {
 namespace {
 
+// 64-bit-accumulator bit I/O (LSB-first within each byte, the same stream
+// format the original bit-at-a-time writer produced). put_bits appends up
+// to 57 bits in one shift-or; whole bytes drain from the accumulator's low
+// end, so a rice symbol (unary run + terminator + remainder) costs a
+// handful of ALU ops instead of one call per bit.
 class BitWriter {
  public:
-  void put_bit(int bit) {
-    if (at_ == 0) buf_.push_back(0);
-    if (bit) buf_.back() = static_cast<uint8_t>(buf_.back() | (1u << at_));
-    at_ = (at_ + 1) % 8;
+  // Requires value < 2^count and count <= 57 (fill_ is at most 7 on entry).
+  void put_bits(uint64_t value, int count) {
+    assert(count >= 0 && count <= 57);
+    assert(count == 64 || (value >> count) == 0);
+    acc_ |= value << fill_;
+    fill_ += count;
+    while (fill_ >= 8) {
+      buf_.push_back(static_cast<uint8_t>(acc_));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
   }
-  void put_bits(uint32_t value, int count) {
-    for (int i = 0; i < count; ++i) put_bit((value >> i) & 1u);
+  // A run of n one-bits (the unary quotient of a rice symbol; n can be
+  // large for outlier gaps).
+  void put_ones(uint32_t n) {
+    while (n >= 32) {
+      put_bits(0xFFFFFFFFu, 32);
+      n -= 32;
+    }
+    if (n > 0) put_bits((uint64_t{1} << n) - 1, static_cast<int>(n));
   }
   Tensor finish() const {
-    Tensor t(DType::U8, Shape{{static_cast<int64_t>(buf_.size())}});
-    std::copy(buf_.begin(), buf_.end(), t.u8().begin());
+    std::vector<uint8_t> buf = buf_;
+    uint64_t acc = acc_;
+    for (int fill = fill_; fill > 0; fill -= 8) {
+      buf.push_back(static_cast<uint8_t>(acc));
+      acc >>= 8;
+    }
+    Tensor t(DType::U8, Shape{{static_cast<int64_t>(buf.size())}});
+    std::copy(buf.begin(), buf.end(), t.u8().begin());
     return t;
   }
 
  private:
   std::vector<uint8_t> buf_;
-  int at_ = 0;
+  uint64_t acc_ = 0;
+  int fill_ = 0;  // valid low bits of acc_, < 8 between calls
 };
 
 class BitReader {
  public:
   explicit BitReader(std::span<const uint8_t> data) : data_(data) {}
-  int get_bit() {
-    assert(byte_ < data_.size());
-    const int bit = (data_[byte_] >> at_) & 1;
-    at_ = (at_ + 1) % 8;
-    if (at_ == 0) ++byte_;
-    return bit;
-  }
-  uint32_t get_bits(int count) {
-    uint32_t v = 0;
-    for (int i = 0; i < count; ++i) v |= static_cast<uint32_t>(get_bit()) << i;
+
+  // Requires count <= 56 (refill tops the accumulator up past 56 bits
+  // whenever input remains).
+  uint64_t get_bits(int count) {
+    assert(count >= 0 && count <= 56);
+    refill();
+    assert(count <= fill_);
+    const uint64_t v = acc_ & ((uint64_t{1} << count) - 1);
+    acc_ >>= count;
+    fill_ -= count;
     return v;
   }
 
+  // Count of consecutive one-bits up to the terminating zero (consumed).
+  uint32_t get_unary() {
+    uint32_t q = 0;
+    for (;;) {
+      refill();
+      assert(fill_ > 0);  // truncated stream; framing CRC catches this
+      if (fill_ == 0) return q;
+      // High bits of acc_ beyond fill_ are zero, so countr_one is capped
+      // at fill_: equality means every buffered bit was a one.
+      const int ones = std::countr_one(acc_);
+      if (ones >= fill_) {
+        q += static_cast<uint32_t>(fill_);
+        acc_ = 0;
+        fill_ = 0;
+      } else {
+        q += static_cast<uint32_t>(ones);
+        // The run and its terminator. consumed can be 64 (63 ones ending
+        // exactly at the top of a full accumulator) and a 64-bit shift by
+        // 64 is UB, so zero explicitly.
+        const int consumed = ones + 1;
+        acc_ = consumed >= 64 ? 0 : acc_ >> consumed;
+        fill_ -= consumed;
+        return q;
+      }
+    }
+  }
+
  private:
+  void refill() {
+    while (fill_ <= 56 && byte_ < data_.size()) {
+      acc_ |= static_cast<uint64_t>(data_[byte_++]) << fill_;
+      fill_ += 8;
+    }
+  }
+
   std::span<const uint8_t> data_;
+  uint64_t acc_ = 0;
+  int fill_ = 0;
   size_t byte_ = 0;
-  int at_ = 0;
 };
 
 }  // namespace
@@ -108,10 +169,10 @@ Tensor rice_encode_indices(std::span<const int32_t> indices, int k) {
     assert(idx > prev);
     const auto delta = static_cast<uint32_t>(idx - prev - 1);  // gaps >= 0
     prev = idx;
-    const uint32_t q = delta >> k;
-    for (uint32_t i = 0; i < q; ++i) w.put_bit(1);  // unary quotient
-    w.put_bit(0);
-    w.put_bits(delta & ((1u << k) - 1u), k);  // binary remainder
+    w.put_ones(delta >> k);  // unary quotient
+    // Terminating zero plus the k-bit binary remainder in one append.
+    const uint64_t rem = delta & ((uint64_t{1} << k) - 1);
+    w.put_bits(rem << 1, k + 1);
   }
   return w.finish();
 }
@@ -123,9 +184,8 @@ std::vector<int32_t> rice_decode_indices(const Tensor& encoded, int64_t n) {
   out.reserve(static_cast<size_t>(n));
   int32_t prev = -1;
   for (int64_t i = 0; i < n; ++i) {
-    uint32_t q = 0;
-    while (r.get_bit()) ++q;
-    const uint32_t rem = r.get_bits(k);
+    const uint32_t q = r.get_unary();
+    const auto rem = static_cast<uint32_t>(r.get_bits(k));
     const uint32_t delta = (q << k) | rem;
     prev += static_cast<int32_t>(delta) + 1;
     out.push_back(prev);

@@ -24,8 +24,12 @@ struct FidelitySample {
   std::string tensor;            // gradient tensor name
   int64_t numel = 0;
   uint64_t dense_bits = 0;       // numel * 32 (float32 baseline)
-  uint64_t wire_bits = 0;        // ideal-packing wire size of Q(x)
+  uint64_t wire_bits = 0;        // ideal-packing wire size of Q(x), after
+                                 // the lossless wire stage when one is on
+  uint64_t raw_wire_bits = 0;    // wire size before lossless index coding
+                                 // (== wire_bits when the stage is off)
   double compression_ratio = 1.0;  // dense_bits / wire_bits
+  double lossless_ratio = 1.0;     // raw_wire_bits / wire_bits (>= 1)
   double l2_rel_error = 0.0;       // ||x - y||_2 / ||x||_2 (0 when x == 0)
   double cosine_similarity = 1.0;  // <x,y> / (||x|| ||y||) (1 when degenerate)
   double sign_agreement = 1.0;     // fraction of i with sign(x_i) == sign(y_i)

@@ -30,6 +30,7 @@ void CompressionFidelityProbe::on_sample(const core::FidelitySample& s) {
   ++acc->samples;
   acc->dense_bits += s.dense_bits;
   acc->wire_bits += s.wire_bits;
+  acc->raw_wire_bits += s.raw_wire_bits > 0 ? s.raw_wire_bits : s.wire_bits;
   acc->l2_rel_error += s.l2_rel_error;
   acc->cosine_similarity += s.cosine_similarity;
   acc->sign_agreement += s.sign_agreement;
@@ -68,6 +69,7 @@ std::vector<TensorFidelitySummary> CompressionFidelityProbe::summaries() const {
       into->samples += a.samples;
       into->dense_bits += a.dense_bits;
       into->wire_bits += a.wire_bits;
+      into->raw_wire_bits += a.raw_wire_bits;
       into->l2_rel_error += a.l2_rel_error;
       into->cosine_similarity += a.cosine_similarity;
       into->sign_agreement += a.sign_agreement;
@@ -89,6 +91,10 @@ std::vector<TensorFidelitySummary> CompressionFidelityProbe::summaries() const {
                                     static_cast<double>(m.wire_bits)
                               : 0.0;
     s.mean_wire_bits = static_cast<double>(m.wire_bits) / k;
+    s.lossless_ratio = m.wire_bits > 0
+                           ? static_cast<double>(m.raw_wire_bits) /
+                                 static_cast<double>(m.wire_bits)
+                           : 1.0;
     s.l2_rel_error = m.l2_rel_error / k;
     s.cosine_similarity = m.cosine_similarity / k;
     s.sign_agreement = m.sign_agreement / k;
@@ -115,6 +121,7 @@ std::string fidelity_summaries_json(
     os << "\",\"numel\":" << s.numel << ",\"samples\":" << s.samples
        << ",\"compression_ratio\":" << s.compression_ratio
        << ",\"mean_wire_bits\":" << s.mean_wire_bits
+       << ",\"lossless_ratio\":" << s.lossless_ratio
        << ",\"l2_rel_error\":" << s.l2_rel_error
        << ",\"cosine_similarity\":" << s.cosine_similarity
        << ",\"sign_agreement\":" << s.sign_agreement

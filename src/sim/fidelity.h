@@ -28,6 +28,11 @@ struct TensorFidelitySummary {
   // cheap exchanges).
   double compression_ratio = 0.0;
   double mean_wire_bits = 0.0;
+  // Achieved lossless (index-coding) ratio folded into compression_ratio:
+  // total pre-coding wire bits / total coded wire bits. Exactly 1 when the
+  // wire stage is off; compression_ratio / lossless_ratio recovers the
+  // lossy-only ratio.
+  double lossless_ratio = 1.0;
   // Means over samples.
   double l2_rel_error = 0.0;
   double cosine_similarity = 0.0;
@@ -69,6 +74,7 @@ class CompressionFidelityProbe final : public core::ExchangeProbe {
     int64_t samples = 0;
     uint64_t dense_bits = 0;
     uint64_t wire_bits = 0;
+    uint64_t raw_wire_bits = 0;
     double l2_rel_error = 0.0;
     double cosine_similarity = 0.0;
     double sign_agreement = 0.0;

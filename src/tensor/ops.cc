@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "runtime/thread_pool.h"
+#include "util/simd.h"
 
 namespace grace::ops {
 namespace {
@@ -285,9 +286,7 @@ float kth_largest_abs(std::span<const float> x, int64_t k) {
   std::vector<float> mags(x.size());
   const float* p = x.data();
   runtime::parallel_for(ssize(x), kElemGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) {
-      mags[static_cast<size_t>(i)] = std::fabs(p[i]);
-    }
+    util::simd::abs_into(p + b, mags.data() + b, e - b);
   });
   std::nth_element(mags.begin(), mags.begin() + (k - 1), mags.end(),
                    std::greater<>());
@@ -304,11 +303,10 @@ std::vector<int32_t> threshold_indices(std::span<const float> x, float threshold
   runtime::detail::parallel_chunks(
       n, kReduceGrain, [&](int64_t c, int64_t lo, int64_t hi) {
         auto& part = parts[static_cast<size_t>(c)];
-        for (int64_t i = lo; i < hi; ++i) {
-          if (std::fabs(p[i]) > threshold) {
-            part.push_back(static_cast<int32_t>(i));
-          }
-        }
+        part.resize(static_cast<size_t>(hi - lo));
+        const int64_t cnt =
+            util::simd::threshold_select(p, lo, hi, threshold, part.data());
+        part.resize(static_cast<size_t>(cnt));
       });
   std::vector<int32_t> out;
   for (const auto& part : parts) out.insert(out.end(), part.begin(), part.end());
@@ -320,9 +318,7 @@ float abs_quantile(std::span<const float> x, double q) {
   std::vector<float> mags(x.size());
   const float* p = x.data();
   runtime::parallel_for(ssize(x), kElemGrain, [&](int64_t b, int64_t e) {
-    for (int64_t i = b; i < e; ++i) {
-      mags[static_cast<size_t>(i)] = std::fabs(p[i]);
-    }
+    util::simd::abs_into(p + b, mags.data() + b, e - b);
   });
   const auto pos = static_cast<int64_t>(
       q * static_cast<double>(mags.size() - 1) + 0.5);

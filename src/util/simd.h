@@ -1,0 +1,95 @@
+// Runtime-dispatched SIMD kernels for the codec hot paths (CGX-style
+// hand-vectorized quantization, arXiv:2111.08617): quantize/dequantize,
+// k-bit code packing, sign packing, sparsify gather and the threshold
+// scan. One scalar reference implementation per kernel plus AVX2 / SSE4.1
+// / NEON variants chosen once at runtime.
+//
+// Hard invariant: every vector path is BITWISE IDENTICAL to the scalar
+// reference — same IEEE-754 operation order (div, add, mul are exactly
+// rounded; no FMA contraction, no reassociation), same rounding rule,
+// same NaN handling. The repo's determinism guarantees (bit-identical
+// training under any GRACE_NUM_THREADS) extend to "under any SIMD
+// level": setting GRACE_NO_SIMD=1 must reproduce the default run bit for
+// bit. tests/test_simd.cc enforces this per kernel; the training-CRC
+// check rides the existing determinism tests.
+//
+// Dispatch order: set_level_for_testing() override > GRACE_NO_SIMD env >
+// detected_level() (compile-time ISA macros ANDed with cpuid). Kernels
+// dispatch per call; callers hand them whole chunks (the runtime's
+// parallel_for grain, kilobytes at a time) so the switch is amortized.
+#pragma once
+
+#include <cstdint>
+
+namespace grace::util::simd {
+
+enum class Level : int {
+  Scalar = 0,
+  Sse = 1,   // SSE4.1 (x86 128-bit)
+  Avx2 = 2,  // AVX2 (x86 256-bit)
+  Neon = 3,  // AArch64 NEON (128-bit)
+};
+
+const char* level_name(Level level);
+
+// Best level this binary supports on this CPU (compile-time ISA AND cpuid).
+Level detected_level();
+// Level kernels actually dispatch on: test override, else GRACE_NO_SIMD
+// (any value but "0" forces Scalar), else detected_level().
+Level active_level();
+
+// Force a level for A/B testing (bench_kernels, tests). Requests the
+// binary cannot honor (not compiled in / not supported by the CPU) clamp
+// to Scalar. Returns the level actually installed.
+Level set_level_for_testing(Level level);
+void clear_level_for_testing();
+
+// --- Kernels -------------------------------------------------------------
+// All kernels operate on raw pointers over a caller-chosen range so the
+// deterministic parallel runtime can hand each chunk to the same code.
+
+// codes[i] = round((x[i] / scale + 1) * 0.5 * levels) clamped to
+// [0, levels]; the rounding rule is floor(t + 0.5f) in float32 (round
+// half up). Non-finite inputs map deterministically: NaN -> levels / 2
+// (the midpoint code, same as the zero-scale fill), +Inf -> levels,
+// -Inf -> 0. scale must be > 0 and finite.
+void quantize_codes(const float* x, uint8_t* codes, int64_t n, float scale,
+                    int levels);
+
+// out[i] = (codes[i] / levels * 2 - 1) * scale, exactly this op order.
+void dequantize_values(const uint8_t* codes, float* out, int64_t n,
+                       float scale, int levels);
+
+// Pack n code words of `bits` bits (bits in {1,2,4,8}, codes pre-masked
+// by the caller contract to < 2^bits is NOT required: high bits are
+// masked off here) into out, little-endian within each byte. Writes
+// exactly (n * bits + 7) / 8 bytes; every output byte is fully produced
+// here (no read-modify-write), so parallel chunks that start on byte
+// boundaries are race-free.
+void pack_codes(const uint8_t* codes, uint8_t* out, int64_t n, int bits);
+
+// Inverse of pack_codes: expand n code words out of `packed`.
+void unpack_codes(const uint8_t* packed, uint8_t* codes, int64_t n, int bits);
+
+// Pack sign bits: bit i = (x[i] >= 0.0f), so -0.0f maps to 1 and NaN to 0
+// (IEEE compare semantics, identical scalar and vector). Writes
+// (n + 7) / 8 bytes.
+void pack_sign_bits(const float* x, uint8_t* out, int64_t n);
+
+// out[i] = bit i of `packed` ? +1.0f : -1.0f.
+void unpack_sign_values(const uint8_t* packed, float* out, int64_t n);
+
+// Sparsify gather: out[i] = x[indices[i]]. Bounds are the caller's
+// contract (debug-asserted there).
+void gather_f32(const float* x, const int32_t* indices, float* out, int64_t n);
+
+// Threshold scan: append the indices i in [lo, hi) with |x[i]| > threshold
+// (NaN compares false, as in the scalar fabs test) to out, in ascending
+// order; returns how many were written. out must have room for hi - lo.
+int64_t threshold_select(const float* x, int64_t lo, int64_t hi,
+                         float threshold, int32_t* out);
+
+// out[i] = |x[i]| (sign bit cleared; NaN payloads preserved bit-exactly).
+void abs_into(const float* x, float* out, int64_t n);
+
+}  // namespace grace::util::simd

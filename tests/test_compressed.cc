@@ -67,5 +67,130 @@ TEST(Compressed, TruncatedBlobThrows) {
   EXPECT_THROW(deserialize(cut), std::runtime_error);
 }
 
+// A sparsifier-shaped payload: k values + k sorted indices tagged for the
+// lossless wire stage.
+CompressedTensor sparse_sample(int64_t k, int64_t range) {
+  CompressedTensor ct;
+  Tensor values(DType::F32, Shape{{k}});
+  Tensor idx(DType::I32, Shape{{k}});
+  for (int64_t i = 0; i < k; ++i) {
+    values.f32()[static_cast<size_t>(i)] = static_cast<float>(i) * 0.5f;
+    idx.i32()[static_cast<size_t>(i)] =
+        static_cast<int32_t>(i * (range / k) + (i % 3));
+  }
+  ct.parts = {values, idx};
+  ct.ctx.shape = Shape{{range}};
+  ct.ctx.wire_bits = static_cast<uint64_t>(k) * 64;
+  ct.ctx.index_parts = {1};
+  return ct;
+}
+
+TEST(WireCodec, ParseAndNames) {
+  EXPECT_EQ(parse_wire_codec("none"), WireCodec::None);
+  EXPECT_EQ(parse_wire_codec("varint"), WireCodec::Varint);
+  EXPECT_EQ(parse_wire_codec("rice"), WireCodec::Rice);
+  EXPECT_STREQ(wire_codec_name(WireCodec::Rice), "rice");
+  EXPECT_THROW(parse_wire_codec("huffman"), std::invalid_argument);
+}
+
+TEST(WireCodec, ApplyShrinksWireAndFrameAndRoundTrips) {
+  for (WireCodec codec : {WireCodec::Varint, WireCodec::Rice}) {
+    CompressedTensor ct = sparse_sample(512, 1 << 18);
+    const uint64_t raw_bits = ct.ctx.wire_bits;
+    const size_t raw_frame = serialize(ct).size_bytes();
+    apply_wire_codec(ct, codec);
+    EXPECT_EQ(ct.ctx.wire_codec, codec);
+    EXPECT_EQ(ct.ctx.raw_wire_bits, raw_bits);
+    EXPECT_LT(ct.ctx.wire_bits, raw_bits);
+    // Raw parts stay intact for decompress(); the coded payload rides in
+    // the cache and the frame really shrinks.
+    ASSERT_EQ(ct.parts.size(), 2u);
+    EXPECT_EQ(ct.parts[1].dtype(), DType::I32);
+    ASSERT_EQ(ct.coded_indices.size(), 1u);
+    Tensor blob = serialize(ct);
+    EXPECT_LT(blob.size_bytes(), raw_frame);
+    CompressedTensor back = deserialize(blob);
+    ASSERT_EQ(back.parts.size(), 2u);
+    EXPECT_EQ(back.parts[1].dtype(), DType::I32);
+    for (int64_t i = 0; i < 512; ++i) {
+      ASSERT_EQ(back.parts[1].i32()[static_cast<size_t>(i)],
+                ct.parts[1].i32()[static_cast<size_t>(i)]);
+    }
+    EXPECT_EQ(back.ctx, ct.ctx);
+  }
+}
+
+TEST(WireCodec, NoneAndUntaggedAreNoOps) {
+  CompressedTensor ct = sparse_sample(64, 1 << 12);
+  const Context before = ct.ctx;
+  apply_wire_codec(ct, WireCodec::None);
+  EXPECT_EQ(ct.ctx, before);
+  EXPECT_TRUE(ct.coded_indices.empty());
+
+  CompressedTensor untagged = sparse_sample(64, 1 << 12);
+  untagged.ctx.index_parts.clear();
+  apply_wire_codec(untagged, WireCodec::Rice);
+  EXPECT_EQ(untagged.ctx.wire_codec, WireCodec::None);
+  EXPECT_EQ(untagged.ctx.wire_bits, 64u * 64u);
+}
+
+TEST(WireCodec, NotAWinShipsRaw) {
+  // Two indices whose gaps both exceed 2^28: each varint delta costs 5
+  // bytes, so the coded payload (80 bits) loses to 2 * 32 raw bits and the
+  // stage must keep the part raw and leave accounting untouched.
+  CompressedTensor ct;
+  Tensor idx(DType::I32, Shape{{2}});
+  idx.i32()[0] = 1 << 29;
+  idx.i32()[1] = 1 << 30;
+  ct.parts = {idx};
+  ct.ctx.shape = Shape{{2}};
+  ct.ctx.wire_bits = 64;
+  ct.ctx.index_parts = {0};
+  apply_wire_codec(ct, WireCodec::Varint);
+  EXPECT_EQ(ct.ctx.wire_codec, WireCodec::None);
+  EXPECT_EQ(ct.ctx.wire_bits, 64u);
+  EXPECT_EQ(ct.ctx.raw_wire_bits, 0u);
+  EXPECT_TRUE(ct.coded_indices.empty());
+  CompressedTensor back = deserialize(serialize(ct));
+  EXPECT_EQ(back.parts[0].i32()[1], 1 << 30);
+}
+
+TEST(WireCodec, RejectsMalformedTaggedParts) {
+  // Unsorted indices.
+  CompressedTensor ct = sparse_sample(4, 1 << 10);
+  ct.parts[1].i32()[0] = 999;  // breaks strict ascent
+  EXPECT_THROW(apply_wire_codec(ct, WireCodec::Rice), std::invalid_argument);
+
+  // Negative index.
+  CompressedTensor neg = sparse_sample(4, 1 << 10);
+  neg.parts[1].i32()[0] = -3;
+  EXPECT_THROW(apply_wire_codec(neg, WireCodec::Rice), std::invalid_argument);
+
+  // Tag pointing at a non-I32 part.
+  CompressedTensor wrong = sparse_sample(4, 1 << 10);
+  wrong.ctx.index_parts = {0};
+  EXPECT_THROW(apply_wire_codec(wrong, WireCodec::Varint),
+               std::invalid_argument);
+
+  // Tag out of range.
+  CompressedTensor oob = sparse_sample(4, 1 << 10);
+  oob.ctx.index_parts = {5};
+  EXPECT_THROW(apply_wire_codec(oob, WireCodec::Varint), std::invalid_argument);
+}
+
+TEST(WireCodec, DeserializeReencodesWhenCacheEmpty) {
+  // serialize() must produce the coded frame even when coded_indices was
+  // dropped (e.g. a copy that cleared the cache): re-encode on the fly.
+  CompressedTensor ct = sparse_sample(256, 1 << 16);
+  apply_wire_codec(ct, WireCodec::Rice);
+  Tensor with_cache = serialize(ct);
+  ct.coded_indices.clear();
+  Tensor without_cache = serialize(ct);
+  ASSERT_EQ(with_cache.size_bytes(), without_cache.size_bytes());
+  for (size_t i = 0; i < with_cache.u8().size(); ++i) {
+    ASSERT_EQ(with_cache.u8()[i], without_cache.u8()[i]);
+  }
+}
+
 }  // namespace
 }  // namespace grace::core

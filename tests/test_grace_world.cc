@@ -102,6 +102,61 @@ TEST(GraceWorker, StatsAccounting) {
   EXPECT_GE(stats.compress_seconds, 0.0);
 }
 
+TEST(GraceWorker, WireCodecShrinksWireWithoutChangingAggregate) {
+  const int n = 2;
+  const int64_t d = 4096;
+  Rng rng(9);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < n; ++r) {
+    Tensor g(DType::F32, Shape{{d}});
+    rng.fill_normal(g.f32(), 0.0f, 1.0f);
+    grads.push_back(std::move(g));
+  }
+
+  GraceConfig raw_cfg;
+  raw_cfg.compressor_spec = "topk(0.05)";
+  ExchangeStats raw_stats;
+  auto raw_results = exchange_on_ranks(raw_cfg, n, grads, &raw_stats);
+
+  GraceConfig rice_cfg = raw_cfg;
+  rice_cfg.wire_codec = WireCodec::Rice;
+  ExchangeStats rice_stats;
+  auto rice_results = exchange_on_ranks(rice_cfg, n, grads, &rice_stats);
+
+  // Lossless stage: the aggregated tensors are bit-identical...
+  for (int r = 0; r < n; ++r) {
+    for (int64_t i = 0; i < d; ++i) {
+      ASSERT_EQ(raw_results[static_cast<size_t>(r)].f32()[static_cast<size_t>(i)],
+                rice_results[static_cast<size_t>(r)].f32()[static_cast<size_t>(i)])
+          << "rank " << r << " i=" << i;
+    }
+  }
+  // ...but the wire (and thus the modeled link time) got smaller.
+  EXPECT_LT(rice_stats.wire_bytes, raw_stats.wire_bytes);
+  EXPECT_LT(rice_stats.comm_seconds, raw_stats.comm_seconds);
+}
+
+TEST(GraceWorker, WireCodecLeavesQuantizersUntouched) {
+  // Quantizers tag no index parts; the stage must be a no-op for them.
+  const int n = 2;
+  Rng rng(12);
+  std::vector<Tensor> grads;
+  for (int r = 0; r < n; ++r) {
+    Tensor g(DType::F32, Shape{{64}});
+    rng.fill_normal(g.f32(), 0.0f, 1.0f);
+    grads.push_back(std::move(g));
+  }
+  GraceConfig raw_cfg;
+  raw_cfg.compressor_spec = "signsgd";
+  ExchangeStats raw_stats;
+  exchange_on_ranks(raw_cfg, n, grads, &raw_stats);
+  GraceConfig rice_cfg = raw_cfg;
+  rice_cfg.wire_codec = WireCodec::Rice;
+  ExchangeStats rice_stats;
+  exchange_on_ranks(rice_cfg, n, grads, &rice_stats);
+  EXPECT_EQ(rice_stats.wire_bytes, raw_stats.wire_bytes);
+}
+
 TEST(GraceWorker, ErrorFeedbackDefaultFollowsTableOne) {
   comm::World world(1);
   comm::NetworkModel net;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "core/helper_ops.h"
 #include "tensor/ops.h"
@@ -61,6 +63,53 @@ TEST(Quantize, ExplicitScaleClampsOutliers) {
   dequantize(q, restored);
   EXPECT_NEAR(restored[0], -1.0f, 0.01f);
   EXPECT_NEAR(restored[2], 1.0f, 0.01f);
+}
+
+TEST(Quantize, NonFiniteInputsGetDeterministicCodes) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> x{nan, inf, -inf, 0.5f};
+  // Explicit scale: the auto scale (linf norm) would be inf here.
+  auto q = quantize(x, 8, /*scale=*/1.0f);
+  auto codes = q.codes.u8();
+  EXPECT_EQ(codes[0], 127);  // NaN -> midpoint, same as the zero-scale fill
+  EXPECT_EQ(codes[1], 255);  // +Inf -> top rail
+  EXPECT_EQ(codes[2], 0);    // -Inf -> bottom rail
+  std::vector<float> restored(x.size());
+  dequantize(q, restored);
+  EXPECT_TRUE(std::isfinite(restored[0]));
+  EXPECT_FLOAT_EQ(restored[1], 1.0f);
+  EXPECT_FLOAT_EQ(restored[2], -1.0f);
+}
+
+TEST(Quantize, NonFiniteScaleFallsBackToMidpoint) {
+  // A NaN/inf scale (e.g. from a gradient that already blew up) must not
+  // poison the codes: it behaves like the degenerate zero-scale case.
+  const std::vector<float> x{-1.0f, 0.0f, 1.0f};
+  for (float scale : {std::numeric_limits<float>::quiet_NaN(),
+                      std::numeric_limits<float>::infinity(), 0.0f}) {
+    auto q = quantize(x, 8, scale);
+    for (uint8_t c : q.codes.u8()) EXPECT_EQ(c, 127) << "scale=" << scale;
+  }
+}
+
+TEST(Quantize, RejectsOutOfRangeBits) {
+  const std::vector<float> x{1.0f};
+  EXPECT_THROW(quantize(x, 0), std::invalid_argument);
+  EXPECT_THROW(quantize(x, 9), std::invalid_argument);
+  EXPECT_THROW(quantize(x, -1), std::invalid_argument);
+}
+
+TEST(Pack, RejectsUnsupportedBitWidths) {
+  const std::vector<uint8_t> codes{1, 0, 1};
+  for (int bits : {0, 3, 5, 6, 7, 9}) {
+    EXPECT_THROW(pack(codes, bits), std::invalid_argument) << "bits=" << bits;
+  }
+  Tensor packed = pack(codes, 1);
+  for (int bits : {0, 3, 16}) {
+    EXPECT_THROW(unpack(packed, bits, 3), std::invalid_argument)
+        << "bits=" << bits;
+  }
 }
 
 TEST(Sparsify, RoundTrip) {
