@@ -1,7 +1,9 @@
-// Ablation (§IV-A): collective (Allreduce/Allgather) vs parameter-server
-// communication. The PS round serializes every upload through one link and
-// pushes a dense model back, so it loses to collectives for the baseline
-// but narrows the gap when uploads are heavily compressed.
+// Ablation (§IV-A): ring collectives (Allreduce/Allgather) vs
+// parameter-server vs hierarchical rack-aware communication. The PS round
+// serializes every upload through one link and pushes a dense model back,
+// so it loses to collectives for the baseline but narrows the gap when
+// uploads are heavily compressed; hierarchical trades leader-link fan-in
+// for a much shorter cross-machine ring.
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,28 +15,30 @@ int main() {
   const double scale = s ? std::atof(s) : 1.0;
   sim::Benchmark b = sim::make_mlp_classification(scale);
 
-  std::printf("Topology ablation: collective vs parameter server "
+  std::printf("Topology ablation: ring vs parameter server vs hierarchical "
               "(mlp-wide, 8 workers, 10 Gbps TCP)\n");
-  bench::print_rule(92);
-  std::printf("%-16s %18s %18s %12s %14s\n", "compressor", "collective smp/s",
-              "param-server smp/s", "PS/coll", "quality (PS)");
-  bench::print_rule(92);
+  bench::print_rule(104);
+  std::printf("%-16s %14s %14s %14s %10s %14s\n", "compressor", "ring smp/s",
+              "ps smp/s", "hier smp/s", "PS/ring", "quality (PS)");
+  bench::print_rule(104);
   for (const char* spec : {"none", "topk(0.01)", "qsgd(64)", "efsignsgd",
                            "dgc(0.01)"}) {
-    double thr[2] = {0, 0};
+    double thr[3] = {0, 0, 0};
     double ps_quality = 0.0;
-    for (int t = 0; t < 2; ++t) {
+    for (int t = 0; t < 3; ++t) {
       sim::TrainConfig cfg = sim::default_config(b);
       cfg.grace.compressor_spec = spec;
-      cfg.grace.topology = t == 0 ? core::Topology::Collective
-                                  : core::Topology::ParameterServer;
+      cfg.grace.topology.kind = t == 0   ? comm::TopologyKind::Ring
+                                : t == 1 ? comm::TopologyKind::ParameterServer
+                                         : comm::TopologyKind::Hierarchical;
+      cfg.grace.topology.ranks_per_rack = 4;
       bench::apply_paper_overrides(spec, cfg, /*classification=*/true);
       sim::RunResult run = sim::train(b.factory, cfg);
       thr[t] = run.throughput;
       if (t == 1) ps_quality = run.best_quality;
     }
-    std::printf("%-16s %18.0f %18.0f %12.2f %14.4f\n", spec, thr[0], thr[1],
-                thr[1] / thr[0], ps_quality);
+    std::printf("%-16s %14.0f %14.0f %14.0f %10.2f %14.4f\n", spec, thr[0],
+                thr[1], thr[2], thr[1] / thr[0], ps_quality);
   }
   std::printf("\n(the paper's Horovod-based implementation supports "
               "collectives only; this reproduces the §IV-A claim that a "

@@ -1,6 +1,9 @@
 #include "comm/collectives.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
+#include <stdexcept>
 
 #include "tensor/ops.h"
 
@@ -27,61 +30,82 @@ Tensor slice_to_tensor(std::span<const float> data, ChunkRange r) {
   return Tensor::from(data.subspan(static_cast<size_t>(r.begin), static_cast<size_t>(r.size)));
 }
 
-}  // namespace
-
-void allreduce_sum(Comm& comm, std::span<float> data, int tag) {
-  const int n = comm.size();
-  if (n == 1) return;
-  const int rank = comm.rank();
-  const int next = (rank + 1) % n;
-  const int prev = (rank + n - 1) % n;
+// Ring allreduce over the `count` participants at ranks {0, stride,
+// 2*stride, ...}. The flat collective is the stride == 1 case; the
+// hierarchical leader ring uses stride == ranks_per_rack. Must only be
+// called by participant ranks (rank % stride == 0, rank / stride < count).
+void ring_allreduce_strided(Comm& comm, std::span<float> data, int count,
+                            int stride, int tag) {
+  if (count == 1) return;
+  const int idx = comm.rank() / stride;
+  const int next = ((idx + 1) % count) * stride;
+  const int prev = ((idx + count - 1) % count) * stride;
   const auto total = static_cast<int64_t>(data.size());
 
-  // Phase 1: reduce-scatter. After n-1 steps, rank r holds the full sum of
-  // chunk (r+1) mod n.
-  for (int step = 0; step < n - 1; ++step) {
-    const int send_chunk = (rank - step + n) % n;
-    const int recv_chunk = (rank - step - 1 + 2 * n) % n;
-    comm.send(next, slice_to_tensor(data, chunk_range(total, n, send_chunk)), tag);
+  // Phase 1: reduce-scatter. After count-1 steps, participant i holds the
+  // full sum of chunk (i+1) mod count.
+  for (int step = 0; step < count - 1; ++step) {
+    const int send_chunk = (idx - step + count) % count;
+    const int recv_chunk = (idx - step - 1 + 2 * count) % count;
+    comm.send(next, slice_to_tensor(data, chunk_range(total, count, send_chunk)), tag);
     Tensor incoming = comm.recv(prev, tag);
-    const ChunkRange r = chunk_range(total, n, recv_chunk);
+    const ChunkRange r = chunk_range(total, count, recv_chunk);
     assert(incoming.numel() == r.size);
     ops::add(data.subspan(static_cast<size_t>(r.begin), static_cast<size_t>(r.size)), incoming.f32());
   }
   // Phase 2: allgather of the reduced chunks.
-  for (int step = 0; step < n - 1; ++step) {
-    const int send_chunk = (rank - step + 1 + n) % n;
-    const int recv_chunk = (rank - step + 2 * n) % n;
-    comm.send(next, slice_to_tensor(data, chunk_range(total, n, send_chunk)), tag);
+  for (int step = 0; step < count - 1; ++step) {
+    const int send_chunk = (idx - step + 1 + count) % count;
+    const int recv_chunk = (idx - step + 2 * count) % count;
+    comm.send(next, slice_to_tensor(data, chunk_range(total, count, send_chunk)), tag);
     Tensor incoming = comm.recv(prev, tag);
-    const ChunkRange r = chunk_range(total, n, recv_chunk);
+    const ChunkRange r = chunk_range(total, count, recv_chunk);
     assert(incoming.numel() == r.size);
     ops::copy(data.subspan(static_cast<size_t>(r.begin), static_cast<size_t>(r.size)), incoming.f32());
   }
 }
 
-std::vector<Tensor> allgather(Comm& comm, const Tensor& mine, int tag) {
-  const int n = comm.size();
-  const int rank = comm.rank();
-  std::vector<Tensor> out(static_cast<size_t>(n));
-  out[static_cast<size_t>(rank)] = mine;
-  if (n == 1) return out;
-  // Ring allgather, matching the ring allreduce above: n-1 steps, each rank
-  // forwards exactly one tensor per step (at step s it passes along the
-  // tensor that originated s hops upstream). Per-rank traffic is the sum of
-  // the other ranks' payloads instead of (n-1) copies of its own, and no
-  // rank ever sends the same payload twice. Tensors keep their own shapes,
-  // so ranks may contribute different sizes.
-  const int next = (rank + 1) % n;
-  const int prev = (rank + n - 1) % n;
-  int forward = rank;  // origin rank of the tensor sent this step
-  for (int step = 0; step < n - 1; ++step) {
+// Ring allgather over the same strided participant set; returns one tensor
+// per participant, indexed by ring position (position i originated at rank
+// i * stride). Tensors keep their own shapes, so participants may
+// contribute different sizes.
+std::vector<Tensor> ring_allgather_strided(Comm& comm, const Tensor& mine,
+                                           int count, int stride, int tag) {
+  const int idx = comm.rank() / stride;
+  std::vector<Tensor> out(static_cast<size_t>(count));
+  out[static_cast<size_t>(idx)] = mine;
+  if (count == 1) return out;
+  // count-1 steps, each participant forwards exactly one tensor per step
+  // (at step s it passes along the tensor that originated s hops
+  // upstream). Per-participant traffic is the sum of the other
+  // participants' payloads instead of (count-1) copies of its own, and no
+  // participant ever sends the same payload twice.
+  const int next = ((idx + 1) % count) * stride;
+  const int prev = ((idx + count - 1) % count) * stride;
+  int forward = idx;  // ring position of the tensor sent this step
+  for (int step = 0; step < count - 1; ++step) {
     comm.send(next, out[static_cast<size_t>(forward)], tag);
-    const int incoming = (rank - step - 1 + 2 * n) % n;
+    const int incoming = (idx - step - 1 + 2 * count) % count;
     out[static_cast<size_t>(incoming)] = comm.recv(prev, tag);
     forward = incoming;
   }
   return out;
+}
+
+void require_rack_size(int ranks_per_rack) {
+  if (ranks_per_rack < 1) {
+    throw std::invalid_argument("hierarchical collective: ranks_per_rack must be >= 1");
+  }
+}
+
+}  // namespace
+
+void allreduce_sum(Comm& comm, std::span<float> data, int tag) {
+  ring_allreduce_strided(comm, data, comm.size(), 1, tag);
+}
+
+std::vector<Tensor> allgather(Comm& comm, const Tensor& mine, int tag) {
+  return ring_allgather_strided(comm, mine, comm.size(), 1, tag);
 }
 
 void broadcast(Comm& comm, Tensor& tensor, int root, int tag) {
@@ -98,6 +122,158 @@ void broadcast(Comm& comm, Tensor& tensor, int root, int tag) {
 void barrier(Comm& comm, int tag) {
   float token = 1.0f;
   allreduce_sum(comm, std::span<float>(&token, 1), tag);
+}
+
+void hierarchical_allreduce_sum(Comm& comm, std::span<float> data,
+                                int ranks_per_rack, int tag) {
+  require_rack_size(ranks_per_rack);
+  const int n = comm.size();
+  if (n == 1) return;
+  const int m = ranks_per_rack;
+  if (m == 1) {  // every rank is a leader: plain flat ring
+    allreduce_sum(comm, data, tag);
+    return;
+  }
+  const int rank = comm.rank();
+  const int leader = (rank / m) * m;
+  if (rank != leader) {
+    comm.send(leader, Tensor::from(data), tag);
+    Tensor summed = comm.recv(leader, tag);
+    assert(summed.numel() == static_cast<int64_t>(data.size()));
+    ops::copy(data, summed.f32());
+    return;
+  }
+  // Fan-in: accumulate rack members in rank order (deterministic — each
+  // recv is directed at a specific source).
+  const int rack_end = std::min(leader + m, n);
+  for (int member = leader + 1; member < rack_end; ++member) {
+    Tensor incoming = comm.recv(member, tag);
+    assert(incoming.numel() == static_cast<int64_t>(data.size()));
+    ops::add(data, incoming.f32());
+  }
+  const int racks = (n + m - 1) / m;
+  if (racks > 1) ring_allreduce_strided(comm, data, racks, m, tag);
+  // Fan-out: every member gets the full result.
+  const Tensor result = Tensor::from(data);
+  for (int member = leader + 1; member < rack_end; ++member) {
+    comm.send(member, result, tag);
+  }
+}
+
+std::vector<Tensor> hierarchical_allgather(Comm& comm, const Tensor& mine,
+                                           int ranks_per_rack, int tag) {
+  require_rack_size(ranks_per_rack);
+  if (mine.dtype() != DType::U8) {
+    throw std::invalid_argument("hierarchical_allgather: blobs must be U8");
+  }
+  const int n = comm.size();
+  if (n == 1) return {mine};
+  const int m = ranks_per_rack;
+  if (m == 1) return allgather(comm, mine, tag);
+  const int rank = comm.rank();
+  const int leader = (rank / m) * m;
+  if (rank != leader) {
+    comm.send(leader, mine, tag);
+    return unpack_blob_bundle(comm.recv(leader, tag));
+  }
+  // Fan-in: collect this rack's blobs in rank order.
+  const int rack_end = std::min(leader + m, n);
+  std::vector<Tensor> rack(static_cast<size_t>(rack_end - leader));
+  rack[0] = mine;
+  for (int member = leader + 1; member < rack_end; ++member) {
+    rack[static_cast<size_t>(member - leader)] = comm.recv(member, tag);
+  }
+  // Leader ring: exchange per-rack bundles; positions are rack indices.
+  const int racks = (n + m - 1) / m;
+  std::vector<Tensor> bundles;
+  if (racks > 1) {
+    bundles = ring_allgather_strided(comm, pack_blob_bundle(rack), racks, m, tag);
+  } else {
+    bundles.push_back(pack_blob_bundle(rack));
+  }
+  std::vector<Tensor> out;
+  out.reserve(static_cast<size_t>(n));
+  for (const Tensor& bundle : bundles) {
+    for (Tensor& blob : unpack_blob_bundle(bundle)) out.push_back(std::move(blob));
+  }
+  assert(static_cast<int>(out.size()) == n);
+  // Fan-out: members receive the full n-blob bundle.
+  if (rack_end > leader + 1) {
+    const Tensor full = pack_blob_bundle(out);
+    for (int member = leader + 1; member < rack_end; ++member) {
+      comm.send(member, full, tag);
+    }
+  }
+  return out;
+}
+
+Tensor pack_blob_bundle(std::span<const Tensor> blobs) {
+  uint64_t payload = 0;
+  for (const Tensor& b : blobs) {
+    if (b.dtype() != DType::U8) {
+      throw std::invalid_argument("pack_blob_bundle: blobs must be U8");
+    }
+    payload += b.size_bytes();
+  }
+  const uint64_t header = 8 * (1 + blobs.size());
+  Tensor out(DType::U8, Shape{{static_cast<int64_t>(header + payload)}});
+  auto dst = out.u8();
+  size_t off = 0;
+  const auto put_u64 = [&](uint64_t v) {
+    std::memcpy(dst.data() + off, &v, 8);
+    off += 8;
+  };
+  put_u64(static_cast<uint64_t>(blobs.size()));
+  for (const Tensor& b : blobs) put_u64(b.size_bytes());
+  for (const Tensor& b : blobs) {
+    if (b.size_bytes() > 0) {
+      std::memcpy(dst.data() + off, b.u8().data(), b.size_bytes());
+    }
+    off += b.size_bytes();
+  }
+  assert(off == dst.size());
+  return out;
+}
+
+std::vector<Tensor> unpack_blob_bundle(const Tensor& bundle) {
+  if (bundle.dtype() != DType::U8) {
+    throw std::runtime_error("unpack_blob_bundle: bundle must be U8");
+  }
+  const auto src = bundle.u8();
+  if (src.size() < 8) {
+    throw std::runtime_error("unpack_blob_bundle: truncated header");
+  }
+  size_t off = 0;
+  const auto take_u64 = [&]() {
+    uint64_t v = 0;
+    std::memcpy(&v, src.data() + off, 8);
+    off += 8;
+    return v;
+  };
+  const uint64_t count = take_u64();
+  if (count > (src.size() - 8) / 8) {
+    throw std::runtime_error("unpack_blob_bundle: blob count exceeds bundle size");
+  }
+  std::vector<uint64_t> lens(static_cast<size_t>(count));
+  uint64_t payload = 0;
+  for (auto& len : lens) {
+    len = take_u64();
+    payload += len;
+  }
+  if (off + payload != src.size()) {
+    throw std::runtime_error("unpack_blob_bundle: payload size mismatch");
+  }
+  std::vector<Tensor> out;
+  out.reserve(lens.size());
+  for (const uint64_t len : lens) {
+    Tensor blob(DType::U8, Shape{{static_cast<int64_t>(len)}});
+    if (len > 0) {
+      std::memcpy(blob.u8().data(), src.data() + off, static_cast<size_t>(len));
+    }
+    off += static_cast<size_t>(len);
+    out.push_back(std::move(blob));
+  }
+  return out;
 }
 
 }  // namespace grace::comm

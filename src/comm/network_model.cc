@@ -1,7 +1,10 @@
 #include "comm/network_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace grace::comm {
 
@@ -74,6 +77,23 @@ double NetworkModel::parameter_server_seconds(size_t total_upload_bytes,
 double NetworkModel::retransmit_seconds(size_t bytes) const {
   return static_cast<double>(bytes) / effective_bytes_per_sec() +
          2.0 * latency_us * 1e-6 + 2.0 * per_message_overhead_sec();
+}
+
+void NetworkModel::validate() const {
+  if (n_workers < 1) {
+    throw std::invalid_argument("NetworkModel: n_workers must be >= 1, got " +
+                                std::to_string(n_workers));
+  }
+  if (!(bandwidth_gbps > 0.0) || !std::isfinite(bandwidth_gbps)) {
+    throw std::invalid_argument(
+        "NetworkModel: bandwidth_gbps must be finite and > 0, got " +
+        std::to_string(bandwidth_gbps));
+  }
+  if (!(latency_us >= 0.0) || !std::isfinite(latency_us)) {
+    throw std::invalid_argument(
+        "NetworkModel: latency_us must be finite and >= 0, got " +
+        std::to_string(latency_us));
+  }
 }
 
 std::string transport_name(Transport t) {

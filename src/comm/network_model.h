@@ -56,6 +56,14 @@ struct NetworkModel {
   // payload transmission.
   double retransmit_seconds(size_t bytes) const;
 
+  // Throws std::invalid_argument when the parameters cannot price a run:
+  // n_workers < 1, bandwidth_gbps <= 0 or non-finite, latency_us < 0 or
+  // non-finite. Without this, bandwidth_gbps == 0 makes
+  // effective_bytes_per_sec() return 0 and every *_seconds() above return
+  // inf/NaN that propagates silently into BENCH_*.json. Called by the
+  // trainer, the simulated world, and make_topology before any pricing.
+  void validate() const;
+
   std::string to_string() const;
 };
 

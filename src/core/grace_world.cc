@@ -1,5 +1,6 @@
 #include "core/grace_world.h"
 
+#include <algorithm>
 #include <cmath>
 #include <ctime>
 
@@ -38,6 +39,7 @@ ExchangeStats& ExchangeStats::operator+=(const ExchangeStats& o) {
 GraceWorker::GraceWorker(const GraceConfig& cfg, comm::Comm comm,
                          comm::NetworkModel net, uint64_t rng_seed)
     : topology_(cfg.topology),
+      topo_(comm::make_topology(cfg.topology, net)),
       wire_codec_(cfg.wire_codec),
       q_(make_compressor(cfg.compressor_spec)),
       comm_(comm),
@@ -49,6 +51,15 @@ GraceWorker::GraceWorker(const GraceConfig& cfg, comm::Comm comm,
   } else {
     memory_ = std::make_unique<NoMemory>();
   }
+}
+
+void GraceWorker::rebind(comm::Comm comm, const comm::NetworkModel& net) {
+  comm_ = comm;
+  net_ = net;
+  // The shrunk world may invalidate the old parameters (e.g. ps_shards ==
+  // old n); clamp the shard count rather than failing a crash hand-off.
+  topology_.ps_shards = std::min(topology_.ps_shards, net.n_workers);
+  topo_ = comm::make_topology(topology_, net);
 }
 
 void GraceWorker::absorb(const Tensor& grad, const std::string& name) {
@@ -102,10 +113,18 @@ Tensor GraceWorker::wait(ExchangeHandle&& h, ExchangeStats* stats) {
   // The collective reads h.stats.wire_bytes for its cost model, so the
   // comm/decompress charges accumulate onto the submit-side stats.
   ExchangeStats* const sp = h.instrumented ? &h.stats : nullptr;
-  Tensor aggregated =
-      topology_ == Topology::ParameterServer
-          ? exchange_parameter_server(h.payload, h.tag, sp)
-          : exchange_collective(h.payload, h.tag, sp);
+  Tensor aggregated;
+  switch (topology_.kind) {
+    case comm::TopologyKind::ParameterServer:
+      aggregated = exchange_parameter_server(h.payload, h.tag, sp);
+      break;
+    case comm::TopologyKind::Hierarchical:
+      aggregated = exchange_hierarchical(h.payload, h.tag, sp);
+      break;
+    case comm::TopologyKind::Ring:
+      aggregated = exchange_collective(h.payload, h.tag, sp);
+      break;
+  }
   if (stats) *stats += h.stats;
   return aggregated;
 }
@@ -173,7 +192,7 @@ Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
     for (auto& part : summed.parts) {
       comm::allreduce_sum(comm_, part.f32(), tag);
     }
-    if (stats) stats->comm_seconds += net_.allreduce_seconds(stats->wire_bytes);
+    if (stats) stats->comm_seconds += topo_->allreduce_seconds(stats->wire_bytes);
     const double t0 = stats ? now_seconds() : 0.0;
     aggregated = q_->decompress(summed);
     ops::scale(aggregated.f32(), 1.0f / static_cast<float>(comm_.size()));
@@ -199,7 +218,53 @@ Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
     if (stats) {
       stats->decompress_seconds += now_seconds() - t0;
       stats->comm_seconds +=
-          net_.allgather_seconds(stats->wire_bytes, others_bytes);
+          topo_->allgather_seconds(stats->wire_bytes, others_bytes);
+    }
+  }
+  return aggregated;
+}
+
+Tensor GraceWorker::exchange_hierarchical(const CompressedTensor& compressed,
+                                          int tag, ExchangeStats* stats) {
+  // Same two CommMode paths as exchange_collective, over the two-level
+  // rack-aware collectives. Results are identical on every rank (the
+  // leader ring produces one bit pattern and fans it out), but the sum
+  // association differs from the flat ring, so Allreduce-mode results are
+  // float-close, not bit-equal, to the Ring topology's.
+  const int rack = topology_.ranks_per_rack;
+  Tensor aggregated;
+  if (q_->comm_mode() == CommMode::Allreduce) {
+    CompressedTensor summed = compressed;
+    for (auto& part : summed.parts) {
+      comm::hierarchical_allreduce_sum(comm_, part.f32(), rack, tag);
+    }
+    if (stats) stats->comm_seconds += topo_->allreduce_seconds(stats->wire_bytes);
+    const double t0 = stats ? now_seconds() : 0.0;
+    aggregated = q_->decompress(summed);
+    ops::scale(aggregated.f32(), 1.0f / static_cast<float>(comm_.size()));
+    if (stats) stats->decompress_seconds += now_seconds() - t0;
+  } else {
+    Tensor blob = serialize(compressed);
+    std::vector<Tensor> blobs =
+        comm::hierarchical_allgather(comm_, blob, rack, tag);
+    const double t0 = stats ? now_seconds() : 0.0;
+    std::vector<Tensor> decompressed;
+    decompressed.reserve(blobs.size());
+    uint64_t others_bytes = 0;
+    for (int peer = 0; peer < static_cast<int>(blobs.size()); ++peer) {
+      if (peer == comm_.rank()) {
+        decompressed.push_back(q_->decompress(compressed));
+      } else {
+        CompressedTensor ct = deserialize(blobs[static_cast<size_t>(peer)]);
+        others_bytes += ct.wire_bytes();
+        decompressed.push_back(q_->decompress(ct));
+      }
+    }
+    aggregated = q_->aggregate(decompressed);
+    if (stats) {
+      stats->decompress_seconds += now_seconds() - t0;
+      stats->comm_seconds +=
+          topo_->allgather_seconds(stats->wire_bytes, others_bytes);
     }
   }
   return aggregated;
@@ -207,20 +272,31 @@ Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
 
 Tensor GraceWorker::exchange_parameter_server(const CompressedTensor& compressed,
                                               int tag, ExchangeStats* stats) {
-  // Rank 0 acts as the parameter server: it collects every worker's
-  // compressed payload, decompresses, aggregates (Agg), and pushes the
-  // dense aggregate back. Equivalent result to the Allgather path because
-  // aggregation visits ranks in the same order.
+  // The serving shard collects every worker's compressed payload,
+  // decompresses, aggregates (Agg), and pushes the dense aggregate back.
+  // Equivalent result to the Allgather path because aggregation visits
+  // ranks in the same order. With ps_shards > 1 the serving rank is
+  // tag % ps_shards (mxnet-kvstore style bucket sharding): every rank
+  // advances next_tag_ identically, so all ranks agree on the shard with
+  // no coordination, and consecutive fusion buckets land on different
+  // server links.
   const int n = comm_.size();
+  const int shards = std::max(1, topology_.ps_shards);
+  const int server = (tag % shards + shards) % shards;
   Tensor aggregated;
   uint64_t total_upload = stats ? stats->wire_bytes : 0;
-  if (comm_.rank() == 0) {
+  if (comm_.rank() == server) {
     std::vector<Tensor> decompressed;
     decompressed.reserve(static_cast<size_t>(n));
-    const double t0 = stats ? now_seconds() : 0.0;
-    decompressed.push_back(q_->decompress(compressed));
-    if (stats) stats->decompress_seconds += now_seconds() - t0;
-    for (int peer = 1; peer < n; ++peer) {
+    // Aggregation must visit ranks in rank order; this shard's own payload
+    // is slotted at its rank position.
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer == server) {
+        const double t0 = stats ? now_seconds() : 0.0;
+        decompressed.push_back(q_->decompress(compressed));
+        if (stats) stats->decompress_seconds += now_seconds() - t0;
+        continue;
+      }
       CompressedTensor ct = deserialize(comm_.recv(peer, tag));
       total_upload += ct.wire_bytes();
       const double t1 = stats ? now_seconds() : 0.0;
@@ -228,17 +304,19 @@ Tensor GraceWorker::exchange_parameter_server(const CompressedTensor& compressed
       if (stats) stats->decompress_seconds += now_seconds() - t1;
     }
     aggregated = q_->aggregate(decompressed);
-    for (int peer = 1; peer < n; ++peer) comm_.send(peer, aggregated, tag);
+    for (int peer = 0; peer < n; ++peer) {
+      if (peer != server) comm_.send(peer, aggregated, tag);
+    }
   } else {
-    comm_.send(0, serialize(compressed), tag);
-    aggregated = comm_.recv(0, tag);
+    comm_.send(server, serialize(compressed), tag);
+    aggregated = comm_.recv(server, tag);
     // Workers do not know the other uploads' exact sizes; charge the
     // model's symmetric estimate (n equal uploads).
     if (stats) total_upload = stats->wire_bytes * static_cast<uint64_t>(n);
   }
   if (stats) {
     stats->comm_seconds +=
-        net_.parameter_server_seconds(total_upload, aggregated.size_bytes());
+        topo_->push_pull_seconds(total_upload, aggregated.size_bytes());
   }
   return aggregated;
 }

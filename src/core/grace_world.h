@@ -13,6 +13,7 @@
 
 #include "comm/collectives.h"
 #include "comm/network_model.h"
+#include "comm/topology.h"
 #include "core/compressor.h"
 #include "core/memory.h"
 #include "core/probe.h"
@@ -47,13 +48,6 @@ struct ExchangeHandle {
   ExchangeStats stats;  // compress_seconds + wire_bytes, filled by submit()
 };
 
-// §IV-A: the framework is compatible with parameter-server communication —
-// "a parameter server provides a gradient aggregation function equivalent
-// to Allreduce". Collective uses the compressor's preferred collective;
-// ParameterServer routes compressed uploads through rank 0, which
-// aggregates and pushes the dense result back.
-enum class Topology { Collective, ParameterServer };
-
 struct GraceConfig {
   std::string compressor_spec = "none";
   // Error feedback override; unset means the compressor's default (the
@@ -61,7 +55,14 @@ struct GraceConfig {
   std::optional<bool> error_feedback;
   float ef_beta = 1.0f;   // beta in Eq. 4
   float ef_gamma = 1.0f;  // gamma in Eq. 4
-  Topology topology = Topology::Collective;
+  // §IV-A: the framework is compatible with parameter-server communication —
+  // "a parameter server provides a gradient aggregation function equivalent
+  // to Allreduce". Ring uses the compressor's preferred flat collective;
+  // ParameterServer routes compressed uploads through the serving shard
+  // (rank tag % ps_shards), which aggregates and pushes the dense result
+  // back; Hierarchical runs the two-level rack-aware collectives from
+  // comm/collectives.h.
+  comm::TopologyConfig topology;
   // Lossless wire stage for sparse-index payloads (core/compressed.h):
   // submit() runs apply_wire_codec on every compressed payload, inside the
   // timed compression region, so compress_seconds, wire_bytes and the
@@ -104,10 +105,11 @@ class GraceWorker {
   // swaps the communication endpoint and cost model after a crash shrinks
   // the world: compressor state and EF residuals carry over untouched.
   void absorb(const Tensor& grad, const std::string& name);
-  void rebind(comm::Comm comm, const comm::NetworkModel& net) {
-    comm_ = comm;
-    net_ = net;
-  }
+  void rebind(comm::Comm comm, const comm::NetworkModel& net);
+
+  // The topology cost/volume model this worker prices exchanges with
+  // (rebuilt by rebind when the world shrinks).
+  const comm::TopologyModel& topology() const { return *topo_; }
 
   Compressor& compressor() { return *q_; }
   bool error_feedback_enabled() const { return memory_->enabled(); }
@@ -124,6 +126,8 @@ class GraceWorker {
   // `stats` may be null: the exchange still runs, only accounting is skipped.
   Tensor exchange_collective(const CompressedTensor& compressed, int tag,
                              ExchangeStats* stats);
+  Tensor exchange_hierarchical(const CompressedTensor& compressed, int tag,
+                               ExchangeStats* stats);
   Tensor exchange_parameter_server(const CompressedTensor& compressed, int tag,
                                    ExchangeStats* stats);
 
@@ -133,7 +137,8 @@ class GraceWorker {
                       const CompressedTensor& compressed,
                       const Tensor& reconstruction);
 
-  Topology topology_;
+  comm::TopologyConfig topology_;
+  std::unique_ptr<comm::TopologyModel> topo_;
   WireCodec wire_codec_;
   std::unique_ptr<Compressor> q_;
   std::unique_ptr<Memory> memory_;

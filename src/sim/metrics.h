@@ -61,6 +61,9 @@ struct RunResult {
   std::string model;
   std::string compressor;
   std::string quality_metric;
+  // Communication topology the run used (comm::TopologyConfig::to_string():
+  // "ring", "ps(shards=k)", "hierarchical(rack=m)", ...).
+  std::string topology;
   bool error_feedback = false;
 
   std::vector<EpochRecord> epochs;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "tensor/ops.h"
 
@@ -11,7 +13,18 @@ namespace grace::sim {
 std::vector<BucketSpec> plan_buckets(std::span<const int64_t> numels,
                                      std::span<const std::string> names,
                                      size_t fusion_bytes) {
-  assert(numels.size() == names.size());
+  if (numels.size() != names.size()) {
+    throw std::invalid_argument(
+        "plan_buckets: numels/names size mismatch (" +
+        std::to_string(numels.size()) + " vs " + std::to_string(names.size()) +
+        ")");
+  }
+  // One bucket per tensor in the worst case; ids are int32_t in the trace
+  // schema, so reject plans the cast below would silently wrap.
+  if (numels.size() > static_cast<size_t>(INT32_MAX)) {
+    throw std::invalid_argument(
+        "plan_buckets: too many tensors for int32_t bucket ids");
+  }
   std::vector<BucketSpec> plan;
   const size_t n = numels.size();
   size_t at = 0;

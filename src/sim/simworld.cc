@@ -1,0 +1,206 @@
+#include "sim/simworld.h"
+
+#include <algorithm>
+#include <ctime>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "comm/topology.h"
+#include "core/registry.h"
+#include "sim/scheduler.h"
+#include "tensor/rng.h"
+
+namespace grace::sim {
+namespace {
+
+// Thread-CPU time, same clock the thread-backed GraceWorker measures its
+// codec kernels with.
+double now_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+ScaleResult simulate_scale(const ReplicaFactory& factory,
+                           const TrainConfig& cfg) {
+  const int n = cfg.n_workers;
+  comm::NetworkModel net = cfg.net;
+  net.n_workers = n;
+  net.validate();
+  cfg.grace.topology.validate(n);
+  const auto topo = comm::make_topology(cfg.grace.topology, net);
+  const comm::TopologyKind kind = cfg.grace.topology.kind;
+
+  ScaleResult r;
+  r.n_workers = n;
+  r.epochs = cfg.epochs;
+  r.topology = cfg.grace.topology.to_string();
+  r.compressor = cfg.grace.compressor_spec;
+
+  // The probe rank: one real replica and one real GraceWorker on a 1-rank
+  // world. Everything below only calls submit() (and the compressor
+  // directly), which never touches the comm handle.
+  auto model = factory(cfg.seed);
+  r.model = model->name();
+  comm::World probe_world(1);
+  core::GraceWorker grace(cfg.grace, probe_world.comm(0), net,
+                          cfg.seed * 7919ULL);
+  ExchangeScheduler sched(model->module().parameters(), cfg.fusion_bytes);
+  const size_t n_buckets = sched.n_buckets();
+  r.buckets_per_iter = static_cast<int64_t>(n_buckets);
+
+  const int64_t train_n = model->train_size();
+  const int64_t global_batch =
+      static_cast<int64_t>(n) * cfg.batch_per_worker;
+  r.iters_per_epoch = std::max<int64_t>(1, train_n / global_batch);
+
+  // One real forward/backward over this rank's first batch gives the
+  // submit pass realistic gradients (payload sizes for value-dependent
+  // compressors, codec timings on real data).
+  Rng batch_rng(cfg.seed * 104729ULL);
+  std::vector<int64_t> slice(static_cast<size_t>(cfg.batch_per_worker));
+  for (size_t j = 0; j < slice.size(); ++j) {
+    slice[j] = static_cast<int64_t>(j) % std::max<int64_t>(1, train_n);
+  }
+  model->module().zero_grad();
+  model->forward_backward(slice, batch_rng);
+
+  const bool compressing =
+      core::parse_spec(cfg.grace.compressor_spec).name != "none";
+  const double fixed_per_tensor =
+      compressing ? cfg.time.compression_fixed_per_tensor : 0.0;
+  const double scale = cfg.time.compression_time_scale;
+  const bool allreduce_mode =
+      grace.compressor().comm_mode() == core::CommMode::Allreduce;
+
+  // Simulated device times, identical to the trainer's.
+  r.compute_s =
+      cfg.time.compute_seconds(model->flops_per_sample(), cfg.batch_per_worker);
+  r.optimizer_s =
+      cfg.time.optimizer_seconds(model->module().num_parameters());
+  const double backward_share =
+      cfg.time.backward_factor / (1.0 + cfg.time.backward_factor);
+  const double forward_s = r.compute_s * (1.0 - backward_share);
+  const double backward_s = r.compute_s * backward_share;
+
+  // Submit every bucket through the real pipeline; from each payload take
+  // the measured codec costs, the logical wire size, the physical blob
+  // size, and the exact per-round transport volume under this topology.
+  comm::WireVolume iter_vol;
+  std::vector<BucketTiming> timings(n_buckets);
+  double compress_sum = 0.0, decompress_sum = 0.0, comm_sum = 0.0;
+  for (size_t b = 0; b < n_buckets; ++b) {
+    core::ExchangeHandle h = sched.submit_bucket(grace, b, /*instrument=*/true);
+    const uint64_t wire = h.stats.wire_bytes;
+    r.wire_bytes_per_iter += wire;
+    const int64_t numel = sched.buckets()[b].numel;
+    const uint64_t dense_bytes = static_cast<uint64_t>(numel) * 4;
+
+    // One measured decompression of this rank's own payload; the per-rank
+    // count depends on the dataflow. Allgather: every rank decompresses
+    // all n payloads. Allreduce: one decompression of the sum. PS: the
+    // serving shard decompresses all n uploads — the codec bottleneck rank.
+    const double t0 = now_seconds();
+    Tensor reconstructed = grace.compressor().decompress(h.payload);
+    const double one_decompress = now_seconds() - t0;
+    (void)reconstructed;
+
+    double comm_s = 0.0;
+    double decompress_s = 0.0;
+    if (kind == comm::TopologyKind::ParameterServer) {
+      const Tensor blob = core::serialize(h.payload);
+      comm_s = topo->push_pull_seconds(wire * static_cast<uint64_t>(n),
+                                       dense_bytes);
+      iter_vol += topo->push_pull_volume(blob.size_bytes(), dense_bytes);
+      decompress_s = one_decompress * n;
+    } else if (allreduce_mode) {
+      comm_s = topo->allreduce_seconds(wire);
+      for (const Tensor& part : h.payload.parts) {
+        iter_vol += topo->allreduce_volume(part.numel());
+      }
+      decompress_s = one_decompress;
+    } else {
+      const Tensor blob = core::serialize(h.payload);
+      comm_s = topo->allgather_seconds(wire, wire * static_cast<uint64_t>(n - 1));
+      iter_vol += topo->allgather_volume(blob.size_bytes());
+      decompress_s = one_decompress * n;
+    }
+
+    BucketTiming& t = timings[b];
+    t.ready_s = forward_s + backward_s * sched.ready_fraction(b);
+    t.compress_s = h.stats.compress_seconds * scale + fixed_per_tensor;
+    t.comm_s = comm_s;
+    t.decompress_s = decompress_s * scale;
+    compress_sum += t.compress_s;
+    comm_sum += t.comm_s;
+    decompress_sum += t.decompress_s;
+  }
+  r.compress_s = compress_sum;
+  r.comm_s = comm_sum;
+  r.decompress_s = decompress_sum;
+
+  // Same two accountings as the trainer: additive always, the scheduler
+  // timeline's critical path when overlap is on.
+  r.additive_iteration_s = r.compute_s + compress_sum + comm_sum +
+                           decompress_sum + r.optimizer_s;
+  const BucketSchedule bs =
+      schedule_buckets(timings, r.compute_s, cfg.time.overlap);
+  if (cfg.time.overlap) {
+    r.iteration_s =
+        std::max(r.compute_s, bs.exchange_end) + r.optimizer_s;
+    r.overlap_saved_s = r.additive_iteration_s - r.iteration_s;
+  } else {
+    r.iteration_s = r.additive_iteration_s;
+  }
+
+  const auto rounds =
+      static_cast<uint64_t>(cfg.epochs) * static_cast<uint64_t>(r.iters_per_epoch);
+  comm::WireVolume total = iter_vol * rounds;
+  if (cfg.check_sync) {
+    // The thread-backed trainer's per-epoch replica-sync check allreduces
+    // one float over the flat ring regardless of topology; its traffic is
+    // part of the World counters, so it is part of the closed form too.
+    total += comm::ring_allreduce_volume(n, 1) *
+             static_cast<uint64_t>(cfg.epochs);
+  }
+  r.comm_messages = total.messages;
+  r.comm_payload_bytes = total.bytes;
+
+  r.total_sim_seconds = r.iteration_s * static_cast<double>(rounds);
+  r.throughput = r.iteration_s > 0.0
+                     ? static_cast<double>(global_batch) / r.iteration_s
+                     : 0.0;
+  return r;
+}
+
+std::string scale_result_json(const ScaleResult& r) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << '{';
+  os << "\"model\":\"" << r.model << '"';
+  os << ",\"compressor\":\"" << r.compressor << '"';
+  os << ",\"topology\":\"" << r.topology << '"';
+  os << ",\"n_workers\":" << r.n_workers;
+  os << ",\"epochs\":" << r.epochs;
+  os << ",\"iters_per_epoch\":" << r.iters_per_epoch;
+  os << ",\"buckets_per_iter\":" << r.buckets_per_iter;
+  os << ",\"phases\":{";
+  os << "\"compute\":" << r.compute_s << ",\"compress\":" << r.compress_s
+     << ",\"comm\":" << r.comm_s << ",\"decompress\":" << r.decompress_s
+     << ",\"optimizer\":" << r.optimizer_s << '}';
+  os << ",\"iteration_seconds\":" << r.iteration_s;
+  os << ",\"additive_iteration_seconds\":" << r.additive_iteration_s;
+  os << ",\"overlap_saved_seconds\":" << r.overlap_saved_s;
+  os << ",\"total_sim_seconds\":" << r.total_sim_seconds;
+  os << ",\"throughput\":" << r.throughput;
+  os << ",\"wire_bytes_per_iter\":" << r.wire_bytes_per_iter;
+  os << ",\"comm_messages\":" << r.comm_messages;
+  os << ",\"comm_payload_bytes\":" << r.comm_payload_bytes;
+  os << '}';
+  return os.str();
+}
+
+}  // namespace grace::sim

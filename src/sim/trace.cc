@@ -86,6 +86,8 @@ std::string run_result_json(const RunResult& r) {
   append_escaped(os, r.model);
   os << ",\"compressor\":";
   append_escaped(os, r.compressor);
+  os << ",\"topology\":";
+  append_escaped(os, r.topology);
   os << ",\"quality_metric\":";
   append_escaped(os, r.quality_metric);
   os << ",\"phases\":{";

@@ -57,6 +57,12 @@ std::vector<int64_t> epoch_order(int64_t n, uint64_t seed, int epoch) {
 
 RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   const int n = cfg.n_workers;
+  // Fail fast, on this thread: a throw from a worker thread would
+  // std::terminate. Topology parameters are checked against both world
+  // sizes in play — the thread world (n) and the cost model's fleet
+  // (net.n_workers) — since the PS shard ranks must exist in both.
+  cfg.net.validate();
+  cfg.grace.topology.validate(std::min(n, cfg.net.n_workers));
   comm::World world(n);
   std::vector<WorkerLog> logs(static_cast<size_t>(n));
   std::vector<models::EvalResult> evals;   // written by rank 0 only
@@ -92,6 +98,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     result.buckets_per_iter = static_cast<int64_t>(tensor_names.size());
   }
   result.compressor = cfg.grace.compressor_spec;
+  result.topology = cfg.grace.topology.to_string();
 
   const int64_t global_batch = static_cast<int64_t>(n) * cfg.batch_per_worker;
 

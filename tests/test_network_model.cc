@@ -1,6 +1,9 @@
 // Alpha-beta network cost model sanity and monotonicity.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "comm/network_model.h"
 
 namespace grace::comm {
@@ -109,6 +112,33 @@ TEST(NetworkModel, BroadcastChargesLatencyOnce) {
   const double delta =
       hi.broadcast_seconds(1 << 20) - lo.broadcast_seconds(1 << 20);
   EXPECT_NEAR(delta, hi.latency_us * 1e-6, 1e-12);
+}
+
+TEST(NetworkModel, ValidateAcceptsDefaultsAndBase) {
+  EXPECT_NO_THROW(NetworkModel{}.validate());
+  EXPECT_NO_THROW(base().validate());
+}
+
+TEST(NetworkModel, ValidateRejectsBadFields) {
+  // Regression: a zero-bandwidth model used to divide by zero and poison
+  // every downstream cost with inf/nan instead of failing loudly.
+  NetworkModel net = base();
+  net.n_workers = 0;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net = base();
+  net.bandwidth_gbps = 0.0;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.bandwidth_gbps = -1.0;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.bandwidth_gbps = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.bandwidth_gbps = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net = base();
+  net.latency_us = -0.5;
+  EXPECT_THROW(net.validate(), std::invalid_argument);
+  net.latency_us = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(net.validate(), std::invalid_argument);
 }
 
 TEST(NetworkModel, Names) {

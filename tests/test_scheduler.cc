@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -82,6 +83,16 @@ TEST(BucketPlan, CapClosesBucketsAndOversizedTensorStandsAlone) {
     at += b.count;
   }
   EXPECT_EQ(at, numels.size());
+}
+
+TEST(BucketPlan, RejectsMismatchedNamesAndNumels) {
+  // Regression: a numels/names length skew used to trip an assert (or walk
+  // off the names vector in release builds); it must throw instead so a
+  // misconfigured caller fails on the main thread, not inside a worker.
+  const std::vector<int64_t> numels = {7, 1, 100};
+  EXPECT_THROW(plan_buckets(numels, names_for(2), 0), std::invalid_argument);
+  EXPECT_THROW(plan_buckets(numels, names_for(4), 0), std::invalid_argument);
+  EXPECT_NO_THROW(plan_buckets(numels, names_for(3), 0));
 }
 
 TEST(BucketPlan, PureFunctionOfInputsSoRanksAgree) {

@@ -43,7 +43,7 @@ TEST(ParameterServer, MatchesCollectiveAggregation) {
     GraceConfig collective;
     collective.compressor_spec = spec;
     GraceConfig ps = collective;
-    ps.topology = Topology::ParameterServer;
+    ps.topology.kind = comm::TopologyKind::ParameterServer;
     auto a = run_exchange(collective, n, grads);
     auto b = run_exchange(ps, n, grads);
     for (int r = 0; r < n; ++r) {
@@ -64,7 +64,7 @@ TEST(ParameterServer, MatchesCollectiveAggregation) {
 TEST(ParameterServer, AllRanksAgree) {
   GraceConfig cfg;
   cfg.compressor_spec = "randomk(0.3)";
-  cfg.topology = Topology::ParameterServer;
+  cfg.topology.kind = comm::TopologyKind::ParameterServer;
   Rng rng(6);
   std::vector<Tensor> grads;
   for (int r = 0; r < 3; ++r) {
@@ -88,7 +88,7 @@ TEST(ParameterServer, TrainsEndToEnd) {
   cfg.net.n_workers = 3;
   cfg.epochs = 2;
   cfg.grace.compressor_spec = "topk(0.1)";
-  cfg.grace.topology = Topology::ParameterServer;
+  cfg.grace.topology.kind = comm::TopologyKind::ParameterServer;
   sim::RunResult run = sim::train(b.factory, cfg);
   EXPECT_TRUE(run.replicas_in_sync);
   EXPECT_GT(run.throughput, 0.0);
