@@ -15,12 +15,20 @@
 // GRACE_SCALE=<f> (default 1.0) scales the task size for smoke runs.
 // --faults=<plan.json> runs the whole sweep under a deterministic fault
 // plan (docs/RESILIENCE.md); resilience counters land in the JSON.
+// --report additionally attaches the critical-path collector + metric
+// registry to every cell, writes the per-cell run reports to
+// BENCH_e2e.report.json, and prints the last cell's report summary
+// (docs/OBSERVABILITY.md §4).
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "sim/critical_path.h"
+#include "sim/metric_registry.h"
+#include "sim/report.h"
 #include "sim/tasks.h"
 #include "sim/trace.h"
 #include "sim/trace_chrome.h"
@@ -39,7 +47,22 @@ struct NetConfig {
 int main(int argc, char** argv) {
   using namespace grace;
 
-  const char* plan_path = bench::fault_plan_arg(argc, argv, "bench_e2e");
+  const char* plan_path = nullptr;
+  bool want_report = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--faults=", 0) == 0 && arg.size() > 9) {
+      plan_path = argv[i] + 9;
+    } else if (arg == "--report") {
+      want_report = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\n"
+                   "usage: bench_e2e [--faults=<plan.json>] [--report]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
   faults::FaultPlan plan;
   if (plan_path != nullptr) {
     plan = faults::FaultPlan(bench::load_fault_spec(plan_path));
@@ -80,6 +103,8 @@ int main(int argc, char** argv) {
 
   bool first = true;
   std::string chrome_trace;  // last cell's per-rank timeline, exported below
+  std::string report_rows;   // per-cell run reports when --report is on
+  std::string last_report_text;
   for (const NetConfig& net : networks) {
     for (const std::string& spec : compressors) {
       sim::TrainConfig cfg = sim::default_config(bench);
@@ -93,8 +118,29 @@ int main(int argc, char** argv) {
 
       sim::Trace trace(cfg.n_workers);
       cfg.trace = &trace;
+      std::unique_ptr<sim::MetricRegistry> registry;
+      std::unique_ptr<sim::CriticalPathCollector> collector;
+      if (want_report) {
+        registry = std::make_unique<sim::MetricRegistry>(cfg.n_workers);
+        collector = std::make_unique<sim::CriticalPathCollector>(cfg.n_workers);
+        cfg.metrics = registry.get();
+        cfg.critical_path = collector.get();
+      }
       sim::RunResult run = sim::train(bench.factory, cfg);
       chrome_trace = sim::trace_chrome_json(trace);
+      if (want_report) {
+        const sim::RunReport report =
+            sim::build_run_report(run, {}, registry.get());
+        if (!report_rows.empty()) report_rows += ',';
+        report_rows += "{\"network\":\"";
+        report_rows += net.label;
+        report_rows += "\",\"compressor\":\"";
+        report_rows += spec;
+        report_rows += "\",\"report\":";
+        report_rows += sim::run_report_json(report);
+        report_rows += '}';
+        last_report_text = sim::run_report_text(report);
+      }
 
       const sim::PhaseBreakdown& p = run.phases;
       std::printf(
@@ -127,6 +173,19 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "cannot open BENCH_e2e.trace.json for writing\n");
     return 1;
+  }
+
+  if (want_report) {
+    if (std::FILE* rf = std::fopen("BENCH_e2e.report.json", "w")) {
+      std::fprintf(rf, "{\"benchmark\":\"e2e\",\"scale\":%g,\"cells\":[%s]}\n",
+                   scale, report_rows.c_str());
+      std::fclose(rf);
+    } else {
+      std::fprintf(stderr, "cannot open BENCH_e2e.report.json for writing\n");
+      return 1;
+    }
+    std::printf("\n%s", last_report_text.c_str());
+    std::printf("\nwrote BENCH_e2e.report.json\n");
   }
 
   std::printf(

@@ -1,0 +1,181 @@
+// Run-report regression gate (docs/OBSERVABILITY.md §4): a fixed, fast,
+// deterministic matrix of training runs — compressors x accounting modes
+// plus one faulted cell — each distilled into a RunReport and written to
+// BENCH_report.json, one cell per line so every line is a self-contained
+// report document.
+//
+//   bench_report                      # run the matrix, write BENCH_report.json
+//   bench_report --ci <baseline.json> # additionally diff every cell against
+//                                     # the committed baseline and exit
+//                                     # non-zero on any regression verdict
+//
+// The diff rules live in sim/report.cc: exact for fully simulated
+// quantities (wire protocol, CRCs, fault counters), tight tolerance for
+// deterministic simulated times, loose tolerance for measured codec
+// timings — so the gate passes across machines but demonstrably fails on
+// an injected slowdown (e.g. a scaled compression_time_scale). Wired as
+// the slow-tier ctest `bench_report_check`.
+//
+// GRACE_TIME_SCALE=<f> multiplies TimeModel::compression_time_scale in
+// every cell — the chaos lever for verifying the gate actually trips:
+//   GRACE_TIME_SCALE=1000 bench_report --ci BENCH_report.baseline.json
+// must exit non-zero.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/critical_path.h"
+#include "sim/metric_registry.h"
+#include "sim/report.h"
+#include "sim/tasks.h"
+
+namespace {
+
+struct Cell {
+  const char* label;
+  const char* compressor;
+  bool overlap;
+  bool faulted;
+};
+
+// The fixed matrix: the paper's three headline compressors, both
+// accounting modes, one deterministic fault scenario. Small task scale so
+// the CI gate stays in the slow-test budget.
+constexpr Cell kCells[] = {
+    {"none-additive", "none", false, false},
+    {"topk-overlap", "topk(0.01)", true, false},
+    {"qsgd-additive", "qsgd(64)", false, false},
+    {"topk-faults", "topk(0.01)", false, true},
+};
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) return {};
+  std::string text;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return text;
+}
+
+// Pulls the baseline line for `label` out of the one-cell-per-line
+// BENCH_report.json; empty when absent.
+std::string baseline_line(const std::string& baseline, const char* label) {
+  const std::string key = "\"label\":\"" + std::string(label) + "\"";
+  const size_t at = baseline.find(key);
+  if (at == std::string::npos) return {};
+  const size_t begin = baseline.rfind('\n', at);
+  size_t end = baseline.find('\n', at);
+  if (end == std::string::npos) end = baseline.size();
+  return baseline.substr(begin == std::string::npos ? 0 : begin + 1,
+                         end - (begin == std::string::npos ? 0 : begin + 1));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace grace;
+
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ci") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\n"
+                   "usage: bench_report [--ci <baseline.json>]\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  sim::Benchmark bench = sim::make_cnn_classification(0.1);
+  // Deterministic straggler + drop scenario for the faulted cell: rank 1
+  // stalls every iteration, the link drops ~2% of delivery attempts.
+  faults::FaultSpec spec;
+  spec.seed = 7;
+  spec.drop_prob = 0.02;
+  spec.straggler_prob = 1.0;
+  spec.straggler_rank = 1;
+  spec.straggler_delay_s = 5e-3;
+  const faults::FaultPlan plan(spec);
+
+  std::vector<std::pair<std::string, std::string>> rows;  // label, report json
+  for (const Cell& cell : kCells) {
+    sim::TrainConfig cfg = sim::default_config(bench);
+    cfg.grace.compressor_spec = cell.compressor;
+    cfg.time.overlap = cell.overlap;
+    if (const char* s = std::getenv("GRACE_TIME_SCALE")) {
+      cfg.time.compression_time_scale *= std::atof(s);
+    }
+    bench::apply_paper_overrides(cell.compressor, cfg,
+                                 /*classification_task=*/true);
+    if (cell.faulted) cfg.faults = &plan;
+    sim::MetricRegistry registry(cfg.n_workers);
+    sim::CriticalPathCollector collector(cfg.n_workers);
+    cfg.metrics = &registry;
+    cfg.critical_path = &collector;
+
+    const sim::RunResult run = sim::train(bench.factory, cfg);
+    const sim::RunReport report = sim::build_run_report(run, {}, &registry);
+    rows.emplace_back(cell.label, sim::run_report_json(report));
+    std::printf("--- %s ---\n%s\n", cell.label,
+                sim::run_report_text(report).c_str());
+  }
+
+  std::FILE* out = std::fopen("BENCH_report.json", "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open BENCH_report.json for writing\n");
+    return 1;
+  }
+  std::fprintf(out, "{\"benchmark\":\"report\",\"cells\":[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out, "{\"label\":\"%s\",\"report\":%s}%s\n",
+                 rows[i].first.c_str(), rows[i].second.c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_report.json (%zu cells)\n", rows.size());
+
+  if (baseline_path == nullptr) return 0;
+
+  // --ci: diff every cell against the committed baseline.
+  const std::string baseline = read_file(baseline_path);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "cannot read baseline '%s'\n", baseline_path);
+    return 1;
+  }
+  int failures = 0;
+  int matched = 0;
+  for (const auto& [label, current] : rows) {
+    const std::string base = baseline_line(baseline, label.c_str());
+    if (base.empty()) {
+      std::fprintf(stderr, "FAIL cell '%s' missing from baseline\n",
+                   label.c_str());
+      ++failures;
+      continue;
+    }
+    ++matched;
+    const sim::ReportDiff diff = sim::diff_reports(base, current);
+    std::printf("--- diff %s ---\n%s", label.c_str(),
+                sim::report_diff_text(diff).c_str());
+    if (!diff.pass) ++failures;
+  }
+  if (matched == 0) {
+    // A renamed matrix must not silently pass an empty comparison.
+    std::fprintf(stderr, "FAIL no baseline cells matched the matrix\n");
+    return 1;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_report --ci: %d cell(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("bench_report --ci: all %d cells PASS\n", matched);
+  return 0;
+}

@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "sim/json_util.h"
+
 namespace grace::sim {
 
 CompressionFidelityProbe::CompressionFidelityProbe(int n_ranks, int every_k)
@@ -113,12 +115,9 @@ std::string fidelity_summaries_json(
   for (size_t i = 0; i < summaries.size(); ++i) {
     const TensorFidelitySummary& s = summaries[i];
     if (i) os << ',';
-    os << "{\"name\":\"";
-    for (char c : s.name) {
-      if (c == '"' || c == '\\') os << '\\';
-      os << c;
-    }
-    os << "\",\"numel\":" << s.numel << ",\"samples\":" << s.samples
+    os << "{\"name\":";
+    append_escaped(os, s.name);
+    os << ",\"numel\":" << s.numel << ",\"samples\":" << s.samples
        << ",\"compression_ratio\":" << s.compression_ratio
        << ",\"mean_wire_bits\":" << s.mean_wire_bits
        << ",\"lossless_ratio\":" << s.lossless_ratio

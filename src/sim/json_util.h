@@ -1,0 +1,35 @@
+// Shared JSON string emission for the exporters (trace, Chrome trace,
+// metric registry, fidelity, run reports). Every name that reaches a JSON
+// document — tensor names, metric names, health-flag details — must pass
+// through append_escaped so no exporter can ship an unescaped quote,
+// backslash or control character. Header-only; no external JSON dependency
+// anywhere in the repo.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace grace::sim {
+
+// Writes `s` as a quoted JSON string literal: escapes '"' and '\\', and
+// renders control characters (< 0x20) as \u00XX so emitted documents stay
+// parseable even for hostile names.
+inline void append_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (uc < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", uc);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace grace::sim

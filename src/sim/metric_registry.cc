@@ -6,6 +6,8 @@
 #include <limits>
 #include <sstream>
 
+#include "sim/json_util.h"
+
 namespace grace::sim {
 
 int histogram_bucket(double v) {
@@ -145,18 +147,46 @@ std::vector<HistogramSnapshot> MetricRegistry::histograms() const {
   return out;
 }
 
+std::vector<CounterSnapshot> MetricRegistry::counters(int rank) const {
+  const RankSlot& slot = ranks_.at(static_cast<size_t>(rank));
+  std::vector<CounterSnapshot> out;
+  out.reserve(slot.counters.size());
+  for (const Counter& c : slot.counters) {
+    out.push_back(CounterSnapshot{c.name, c.value});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CounterSnapshot& a, const CounterSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricRegistry::histograms(int rank) const {
+  const RankSlot& slot = ranks_.at(static_cast<size_t>(rank));
+  std::vector<HistogramSnapshot> out;
+  out.reserve(slot.hists.size());
+  for (const Hist& h : slot.hists) {
+    HistogramSnapshot s;
+    s.name = h.name;
+    s.count = h.count;
+    s.sum = h.sum;
+    s.min = h.min;
+    s.max = h.max;
+    s.buckets = h.buckets;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
 std::string metrics_json(const std::vector<CounterSnapshot>& counters,
                          const std::vector<HistogramSnapshot>& histograms) {
   std::ostringstream os;
   os.precision(std::numeric_limits<double>::max_digits10);
-  auto escaped = [&](const std::string& s) {
-    os << '"';
-    for (char c : s) {
-      if (c == '"' || c == '\\') os << '\\';
-      os << c;
-    }
-    os << '"';
-  };
+  auto escaped = [&](const std::string& s) { append_escaped(os, s); };
   os << "{\"counters\":[";
   for (size_t i = 0; i < counters.size(); ++i) {
     if (i) os << ',';

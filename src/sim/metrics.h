@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "faults/counters.h"
+#include "sim/critical_path.h"
 #include "sim/fidelity.h"
 #include "sim/metric_registry.h"
 
@@ -98,6 +99,13 @@ struct RunResult {
   // (TrainConfig::fusion_bytes endpoints: gradient_tensors at 0, 1 at
   // SIZE_MAX).
   int64_t buckets_per_iter = 0;
+  // Which accounting priced iteration_s (TimeModel::overlap), recorded so
+  // report consumers can compare like with like.
+  bool overlap_enabled = false;
+
+  // Critical-path attribution + what-if re-pricings (sim/critical_path.h);
+  // populated (collected == true) when TrainConfig::critical_path is set.
+  CriticalPathSummary critical_path;
 
   // Finer-grained view of the same accounting: mean per-iteration seconds
   // split across the six trace phases (always populated; phases.total_s()

@@ -1,0 +1,600 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <string_view>
+
+#include "sim/json_util.h"
+#include "sim/metric_registry.h"
+
+namespace grace::sim {
+namespace {
+
+constexpr std::string_view kSchema = "grace.run_report.v1";
+
+void add_metric(RunReport& rep, std::string name, double value) {
+  rep.metrics.push_back(ReportMetric{std::move(name), value});
+}
+
+// --- Diff rules -----------------------------------------------------------
+
+enum class RuleKind {
+  Exact,  // simulated integers / CRCs: any change fails
+  Rel,    // |delta| > tol * max(|baseline|, 1e-12) fails
+  Abs,    // |delta| > tol fails
+  Note,   // informational only, never fails
+};
+
+struct Rule {
+  std::string_view name;
+  RuleKind kind;
+  double tol;
+};
+
+// Tolerance tiers: Exact for fully simulated/deterministic quantities,
+// Rel 1e-6 for simulated seconds (deterministic arithmetic, but serialized
+// through decimal), Rel 1.0 for measured codec timings — generous enough
+// for machine-to-machine noise, still two orders of magnitude tighter than
+// an injected 1000x compression_time_scale slowdown. Metrics not listed
+// here diff as notes.
+constexpr Rule kRules[] = {
+    {"parameters_crc32", RuleKind::Exact, 0.0},
+    {"replicas_in_sync", RuleKind::Exact, 0.0},
+    {"model_parameters", RuleKind::Exact, 0.0},
+    {"gradient_tensors", RuleKind::Exact, 0.0},
+    {"buckets_per_iter", RuleKind::Exact, 0.0},
+    {"epochs", RuleKind::Exact, 0.0},
+    {"samples_per_epoch", RuleKind::Exact, 0.0},
+    {"comm_messages", RuleKind::Exact, 0.0},
+    {"comm_payload_bytes", RuleKind::Exact, 0.0},
+    {"fault.attempts_staged", RuleKind::Exact, 0.0},
+    {"fault.drops_detected", RuleKind::Exact, 0.0},
+    {"fault.corruptions_detected", RuleKind::Exact, 0.0},
+    {"fault.retries", RuleKind::Exact, 0.0},
+    {"fault.rounds_skipped", RuleKind::Exact, 0.0},
+    {"fault.degraded_iters", RuleKind::Exact, 0.0},
+    {"fault.crashed_ranks", RuleKind::Exact, 0.0},
+    {"fault.straggler_events", RuleKind::Exact, 0.0},
+    {"critical_path.iterations", RuleKind::Exact, 0.0},
+    {"wire_bytes_per_iter", RuleKind::Rel, 1e-6},
+    {"compute_seconds", RuleKind::Rel, 1e-6},
+    {"comm_seconds", RuleKind::Rel, 1e-6},
+    {"optimizer_seconds", RuleKind::Rel, 1e-6},
+    {"stall_seconds", RuleKind::Rel, 1e-6},
+    {"fault.straggler_stall_seconds", RuleKind::Rel, 1e-6},
+    {"final_quality", RuleKind::Abs, 1e-6},
+    {"best_quality", RuleKind::Abs, 1e-6},
+    {"fidelity.min_cosine", RuleKind::Abs, 1e-6},
+    {"fidelity.min_sign_agreement", RuleKind::Abs, 1e-6},
+    {"iteration_seconds", RuleKind::Rel, 1.0},
+    {"compress_seconds", RuleKind::Rel, 1.0},
+    {"total_sim_seconds", RuleKind::Rel, 1.0},
+    {"throughput", RuleKind::Rel, 1.0},
+    {"overlap_fraction", RuleKind::Abs, 0.5},
+    {"overlap_saved_seconds", RuleKind::Note, 0.0},
+    {"critical_path.compute_share", RuleKind::Abs, 0.5},
+    {"critical_path.codec_share", RuleKind::Abs, 0.5},
+    {"critical_path.link_share", RuleKind::Abs, 0.5},
+    {"critical_path.optimizer_share", RuleKind::Abs, 0.5},
+    {"critical_path.stall_share", RuleKind::Abs, 0.5},
+    {"health.flags", RuleKind::Note, 0.0},
+};
+
+const Rule* find_rule(std::string_view name) {
+  for (const Rule& r : kRules) {
+    if (r.name == name) return &r;
+  }
+  // What-if speedups divide two measured means; informational only.
+  if (name.substr(0, 7) == "whatif.") {
+    static constexpr Rule kWhatIf{"whatif.*", RuleKind::Note, 0.0};
+    return &kWhatIf;
+  }
+  return nullptr;
+}
+
+std::string rule_label(const Rule* rule) {
+  if (rule == nullptr) return "note";
+  std::ostringstream os;
+  os.precision(6);
+  switch (rule->kind) {
+    case RuleKind::Exact: return "exact";
+    case RuleKind::Rel: os << "rel<=" << rule->tol; return os.str();
+    case RuleKind::Abs: os << "abs<=" << rule->tol; return os.str();
+    case RuleKind::Note: return "note";
+  }
+  return "note";
+}
+
+// --- Targeted JSON extraction ---------------------------------------------
+// The diff only needs the flat "metrics" object and the flag names out of
+// documents this file itself serialized, so a small scanner suffices (the
+// repo carries no external JSON dependency). It tolerates whitespace and
+// member order but not nesting inside "metrics".
+
+struct Extracted {
+  bool ok = false;
+  std::vector<ReportMetric> metrics;
+  std::vector<std::string> flag_names;
+};
+
+size_t skip_ws(const std::string& s, size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+  return i;
+}
+
+// Parses a JSON string literal starting at the opening quote; returns the
+// index one past the closing quote, or npos. Escapes are unwound enough to
+// keep scanning correct (the extracted names are plain ASCII).
+size_t parse_string(const std::string& s, size_t i, std::string* out) {
+  if (i >= s.size() || s[i] != '"') return std::string::npos;
+  ++i;
+  std::string v;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      v += s[i + 1];
+      i += 2;
+    } else {
+      v += s[i];
+      ++i;
+    }
+  }
+  if (i >= s.size()) return std::string::npos;
+  if (out) *out = v;
+  return i + 1;
+}
+
+Extracted extract_report(const std::string& json) {
+  Extracted out;
+  const size_t mpos = json.find("\"metrics\"");
+  if (mpos == std::string::npos) return out;
+  size_t i = skip_ws(json, mpos + 9);
+  if (i >= json.size() || json[i] != ':') return out;
+  i = skip_ws(json, i + 1);
+  if (i >= json.size() || json[i] != '{') return out;
+  i = skip_ws(json, i + 1);
+  while (i < json.size() && json[i] != '}') {
+    std::string name;
+    i = parse_string(json, i, &name);
+    if (i == std::string::npos) return out;
+    i = skip_ws(json, i);
+    if (i >= json.size() || json[i] != ':') return out;
+    i = skip_ws(json, i + 1);
+    const char* begin = json.c_str() + i;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return out;
+    i = static_cast<size_t>(end - json.c_str());
+    out.metrics.push_back(ReportMetric{std::move(name), v});
+    i = skip_ws(json, i);
+    if (i < json.size() && json[i] == ',') i = skip_ws(json, i + 1);
+  }
+  if (i >= json.size()) return out;
+
+  // Flag names: each flag object leads with "name".
+  const size_t fpos = json.find("\"flags\"");
+  if (fpos != std::string::npos) {
+    i = skip_ws(json, fpos + 7);
+    if (i < json.size() && json[i] == ':') {
+      i = skip_ws(json, i + 1);
+      if (i < json.size() && json[i] == '[') {
+        i = skip_ws(json, i + 1);
+        while (i < json.size() && json[i] == '{') {
+          const size_t npos_ = json.find("\"name\"", i);
+          if (npos_ == std::string::npos) break;
+          size_t j = skip_ws(json, npos_ + 6);
+          if (j >= json.size() || json[j] != ':') break;
+          j = skip_ws(json, j + 1);
+          std::string name;
+          j = parse_string(json, j, &name);
+          if (j == std::string::npos) break;
+          out.flag_names.push_back(std::move(name));
+          // Skip to the end of this flag object: the "detail" member is the
+          // last one and its string may contain braces, so walk strings.
+          i = j;
+          int depth = 1;
+          while (i < json.size() && depth > 0) {
+            if (json[i] == '"') {
+              i = parse_string(json, i, nullptr);
+              if (i == std::string::npos) return out;
+              continue;
+            }
+            if (json[i] == '{') ++depth;
+            if (json[i] == '}') --depth;
+            ++i;
+          }
+          i = skip_ws(json, i);
+          if (i < json.size() && json[i] == ',') i = skip_ws(json, i + 1);
+        }
+      }
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+RunReport build_run_report(const RunResult& result, const ReportOptions& opts,
+                           MetricRegistry* registry) {
+  RunReport rep;
+  rep.model = result.model;
+  rep.compressor = result.compressor;
+  rep.topology = result.topology;
+  rep.quality_metric = result.quality_metric;
+  rep.overlap_enabled = result.overlap_enabled;
+  rep.critical_path = result.critical_path;
+
+  // --- Scoreboard (order here is the serialization order) ---
+  add_metric(rep, "parameters_crc32", static_cast<double>(result.parameters_crc32));
+  add_metric(rep, "replicas_in_sync", result.replicas_in_sync ? 1.0 : 0.0);
+  add_metric(rep, "model_parameters", static_cast<double>(result.model_parameters));
+  add_metric(rep, "gradient_tensors", static_cast<double>(result.gradient_tensors));
+  add_metric(rep, "buckets_per_iter", static_cast<double>(result.buckets_per_iter));
+  add_metric(rep, "epochs", static_cast<double>(result.epochs.size()));
+  add_metric(rep, "samples_per_epoch", static_cast<double>(result.samples_per_epoch));
+  add_metric(rep, "comm_messages", static_cast<double>(result.comm_messages));
+  add_metric(rep, "comm_payload_bytes", static_cast<double>(result.comm_payload_bytes));
+  add_metric(rep, "wire_bytes_per_iter", result.wire_bytes_per_iter);
+  add_metric(rep, "compute_seconds", result.compute_s);
+  add_metric(rep, "comm_seconds", result.comm_s);
+  add_metric(rep, "optimizer_seconds", result.optimizer_s);
+  add_metric(rep, "stall_seconds", result.phases.stall_s);
+  add_metric(rep, "final_quality", result.final_quality);
+  add_metric(rep, "best_quality", result.best_quality);
+  add_metric(rep, "iteration_seconds", result.iteration_s);
+  add_metric(rep, "compress_seconds", result.compress_s);
+  add_metric(rep, "total_sim_seconds", result.total_sim_seconds);
+  add_metric(rep, "throughput", result.throughput);
+  add_metric(rep, "overlap_fraction", result.overlap_fraction);
+  add_metric(rep, "overlap_saved_seconds", result.overlap_saved_s);
+  add_metric(rep, "fault.attempts_staged", static_cast<double>(result.faults.attempts_staged));
+  add_metric(rep, "fault.drops_detected", static_cast<double>(result.faults.drops_detected));
+  add_metric(rep, "fault.corruptions_detected", static_cast<double>(result.faults.corruptions_detected));
+  add_metric(rep, "fault.retries", static_cast<double>(result.faults.retries));
+  add_metric(rep, "fault.rounds_skipped", static_cast<double>(result.faults.rounds_skipped));
+  add_metric(rep, "fault.degraded_iters", static_cast<double>(result.faults.degraded_iters));
+  add_metric(rep, "fault.crashed_ranks", static_cast<double>(result.faults.crashed_ranks));
+  add_metric(rep, "fault.straggler_events", static_cast<double>(result.faults.straggler_events));
+  add_metric(rep, "fault.straggler_stall_seconds", result.faults.straggler_stall_s);
+
+  // Fidelity floors over the probed tensors (deterministic: the simulated
+  // training arithmetic does not depend on measured codec time).
+  double min_cosine = std::numeric_limits<double>::infinity();
+  double min_sign = std::numeric_limits<double>::infinity();
+  bool probed = false;
+  for (const TensorFidelitySummary& f : result.fidelity) {
+    if (f.samples == 0) continue;
+    probed = true;
+    min_cosine = std::min(min_cosine, f.cosine_similarity);
+    min_sign = std::min(min_sign, f.sign_agreement);
+  }
+  if (probed) {
+    add_metric(rep, "fidelity.min_cosine", min_cosine);
+    add_metric(rep, "fidelity.min_sign_agreement", min_sign);
+  }
+
+  if (result.critical_path.collected) {
+    const IterationAttribution& m = result.critical_path.mean;
+    const double total = m.iteration_s > 0.0 ? m.iteration_s : 1.0;
+    add_metric(rep, "critical_path.iterations",
+               static_cast<double>(result.critical_path.iterations));
+    add_metric(rep, "critical_path.compute_share", m.compute_s / total);
+    add_metric(rep, "critical_path.codec_share", m.codec_s / total);
+    add_metric(rep, "critical_path.link_share", m.link_s / total);
+    add_metric(rep, "critical_path.optimizer_share", m.optimizer_s / total);
+    add_metric(rep, "critical_path.stall_share", m.stall_s / total);
+    for (const WhatIfResult& w : result.critical_path.what_ifs) {
+      add_metric(rep, "whatif." + w.name + ".speedup", w.speedup);
+    }
+  }
+
+  // --- Health detectors (deterministic signals only) ---
+  auto flag = [&](std::string name, std::string detail, double value,
+                  double threshold) {
+    rep.flags.push_back(
+        HealthFlag{std::move(name), std::move(detail), value, threshold});
+  };
+
+  // Stall share of the mean iteration.
+  const double stall_share =
+      result.iteration_s > 0.0 ? result.phases.stall_s / result.iteration_s
+                               : 0.0;
+  if (stall_share > opts.stall_share) {
+    std::ostringstream d;
+    d.precision(3);
+    d << "fault stalls claim " << stall_share * 100.0
+      << "% of the mean iteration";
+    flag("stall_share", d.str(), stall_share, opts.stall_share);
+  }
+
+  // Straggler outlier: one rank's accumulated simulated stall dwarfs the
+  // rest of the fleet (per-rank series come from the registry).
+  if (registry != nullptr && registry->n_ranks() > 1) {
+    std::vector<double> rank_stall(
+        static_cast<size_t>(registry->n_ranks()), 0.0);
+    for (int r = 0; r < registry->n_ranks(); ++r) {
+      for (const HistogramSnapshot& h : registry->histograms(r)) {
+        if (h.name == "fault.stall_ns") rank_stall[static_cast<size_t>(r)] = h.sum;
+      }
+    }
+    size_t worst = 0;
+    double total = 0.0;
+    for (size_t r = 0; r < rank_stall.size(); ++r) {
+      total += rank_stall[r];
+      if (rank_stall[r] > rank_stall[worst]) worst = r;
+    }
+    const double others_mean =
+        (total - rank_stall[worst]) / static_cast<double>(rank_stall.size() - 1);
+    if (rank_stall[worst] > 0.0 &&
+        (others_mean <= 0.0 ||
+         rank_stall[worst] > opts.straggler_rank_ratio * others_mean)) {
+      const double ratio = others_mean > 0.0
+                               ? rank_stall[worst] / others_mean
+                               : std::numeric_limits<double>::infinity();
+      std::ostringstream d;
+      d.precision(3);
+      d << "rank " << worst << " stalled " << rank_stall[worst] * 1e-9
+        << "s vs fleet mean " << others_mean * 1e-9 << "s";
+      flag("straggler_outlier", d.str(),
+           std::isinf(ratio) ? rank_stall[worst] : ratio,
+           opts.straggler_rank_ratio);
+    }
+  }
+
+  // Retry storm: simulated re-deliveries vs messages actually sent.
+  if (result.comm_messages > 0 && result.faults.retries > 0) {
+    const double retry_ratio =
+        static_cast<double>(result.faults.retries) /
+        static_cast<double>(result.comm_messages);
+    if (retry_ratio > opts.retry_storm_ratio) {
+      std::ostringstream d;
+      d.precision(3);
+      d << result.faults.retries << " retries over " << result.comm_messages
+        << " messages (" << retry_ratio * 100.0 << "%)";
+      flag("retry_storm", d.str(), retry_ratio, opts.retry_storm_ratio);
+    }
+  }
+
+  // Fidelity collapse: a probed tensor's reconstruction dropped below the
+  // floors.
+  if (probed && (min_cosine < opts.min_cosine ||
+                 min_sign < opts.min_sign_agreement)) {
+    std::ostringstream d;
+    d.precision(3);
+    d << "min cosine " << min_cosine << " (floor " << opts.min_cosine
+      << "), min sign agreement " << min_sign << " (floor "
+      << opts.min_sign_agreement << ")";
+    flag("fidelity_collapse", d.str(),
+         std::min(min_cosine / opts.min_cosine,
+                  min_sign / opts.min_sign_agreement),
+         1.0);
+  }
+
+  // Overlap regression: overlap was enabled, there was exchange time worth
+  // hiding, and almost none of it was hidden.
+  if (result.overlap_enabled && result.iteration_s > 0.0) {
+    const double exchange_share =
+        (result.compress_s + result.comm_s) / result.iteration_s;
+    if (exchange_share > opts.min_overlap_fraction &&
+        result.overlap_fraction < opts.min_overlap_fraction) {
+      std::ostringstream d;
+      d.precision(3);
+      d << "overlap recovered only " << result.overlap_fraction * 100.0
+        << "% of the additive iteration despite "
+        << exchange_share * 100.0 << "% exchange share";
+      flag("overlap_regression", d.str(), result.overlap_fraction,
+           opts.min_overlap_fraction);
+    }
+  }
+
+  add_metric(rep, "health.flags", static_cast<double>(rep.flags.size()));
+
+  // Mirror the verdicts into the registry so health counters ride the
+  // normal metric export path.
+  if (registry != nullptr) {
+    registry->inc(0, "health.flags", rep.flags.size());
+    for (const HealthFlag& f : rep.flags) {
+      registry->inc(0, "health.flag." + f.name);
+    }
+  }
+  return rep;
+}
+
+std::string run_report_json(const RunReport& report) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "{\"schema\":";
+  append_escaped(os, kSchema);
+  os << ",\"model\":";
+  append_escaped(os, report.model);
+  os << ",\"compressor\":";
+  append_escaped(os, report.compressor);
+  os << ",\"topology\":";
+  append_escaped(os, report.topology);
+  os << ",\"quality_metric\":";
+  append_escaped(os, report.quality_metric);
+  os << ",\"overlap\":" << (report.overlap_enabled ? "true" : "false");
+  os << ",\"metrics\":{";
+  for (size_t i = 0; i < report.metrics.size(); ++i) {
+    if (i) os << ',';
+    append_escaped(os, report.metrics[i].name);
+    os << ':' << report.metrics[i].value;
+  }
+  os << "},\"flags\":[";
+  for (size_t i = 0; i < report.flags.size(); ++i) {
+    const HealthFlag& f = report.flags[i];
+    if (i) os << ',';
+    os << "{\"name\":";
+    append_escaped(os, f.name);
+    os << ",\"value\":" << f.value << ",\"threshold\":" << f.threshold
+       << ",\"detail\":";
+    append_escaped(os, f.detail);
+    os << '}';
+  }
+  os << "],\"critical_path\":" << critical_path_json(report.critical_path);
+  os << '}';
+  return os.str();
+}
+
+std::string run_report_text(const RunReport& report) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "== run report: " << report.model << " | " << report.compressor
+     << " | " << report.topology
+     << (report.overlap_enabled ? " | overlap" : " | additive") << " ==\n";
+  auto metric = [&](std::string_view name) -> const ReportMetric* {
+    for (const ReportMetric& m : report.metrics) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+  if (const ReportMetric* m = metric("iteration_seconds")) {
+    os << "iteration: " << m->value * 1e3 << " ms";
+    if (const ReportMetric* t = metric("throughput")) {
+      os << "  (" << t->value << " samples/s)";
+    }
+    os << '\n';
+  }
+  if (report.critical_path.collected) {
+    const IterationAttribution& m = report.critical_path.mean;
+    const double total = m.iteration_s > 0.0 ? m.iteration_s : 1.0;
+    os << "attribution: compute " << m.compute_s / total * 100.0
+       << "% | codec " << m.codec_s / total * 100.0 << "% | link "
+       << m.link_s / total * 100.0 << "% | optimizer "
+       << m.optimizer_s / total * 100.0 << "% | stall "
+       << m.stall_s / total * 100.0
+       << "%  [binding: " << resource_name(m.binding) << "]\n";
+    os << "what-if:";
+    for (size_t i = 0; i < report.critical_path.what_ifs.size(); ++i) {
+      const WhatIfResult& w = report.critical_path.what_ifs[i];
+      os << (i ? " | " : " ") << w.name << ' ' << w.speedup << 'x';
+    }
+    os << '\n';
+  }
+  if (const ReportMetric* m = metric("final_quality")) {
+    os << "quality: " << m->value << " (" << report.quality_metric << ")\n";
+  }
+  if (report.flags.empty()) {
+    os << "health: OK\n";
+  } else {
+    os << "health: " << report.flags.size() << " flag"
+       << (report.flags.size() == 1 ? "" : "s") << '\n';
+    for (const HealthFlag& f : report.flags) {
+      os << "  [" << f.name << "] " << f.detail << '\n';
+    }
+  }
+  return os.str();
+}
+
+ReportDiff diff_reports(const std::string& baseline_json,
+                        const std::string& current_json) {
+  ReportDiff diff;
+  const Extracted base = extract_report(baseline_json);
+  const Extracted cur = extract_report(current_json);
+  if (!base.ok || !cur.ok) {
+    diff.pass = false;
+    diff.failures.push_back(!base.ok ? "baseline report is not parseable"
+                                     : "current report is not parseable");
+    return diff;
+  }
+  if (base.metrics.empty()) {
+    diff.pass = false;
+    diff.failures.push_back("baseline report carries no metrics");
+    return diff;
+  }
+
+  auto find_current = [&](const std::string& name) -> const ReportMetric* {
+    for (const ReportMetric& m : cur.metrics) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+
+  for (const ReportMetric& b : base.metrics) {
+    const ReportMetric* c = find_current(b.name);
+    if (c == nullptr) {
+      diff.pass = false;
+      diff.failures.push_back("metric missing from current report: " + b.name);
+      continue;
+    }
+    const Rule* rule = find_rule(b.name);
+    MetricDelta d;
+    d.name = b.name;
+    d.baseline = b.value;
+    d.current = c->value;
+    d.delta = c->value - b.value;
+    d.rel = d.delta / std::max(std::abs(b.value), 1e-12);
+    d.rule = rule_label(rule);
+    if (rule != nullptr) {
+      switch (rule->kind) {
+        case RuleKind::Exact:
+          d.failed = b.value != c->value;
+          break;
+        case RuleKind::Rel:
+          d.failed =
+              std::abs(d.delta) > rule->tol * std::max(std::abs(b.value), 1e-12);
+          break;
+        case RuleKind::Abs:
+          d.failed = std::abs(d.delta) > rule->tol;
+          break;
+        case RuleKind::Note:
+          d.failed = false;
+          break;
+      }
+    }
+    if (d.failed) {
+      diff.pass = false;
+      std::ostringstream f;
+      f.precision(6);
+      f << d.name << ": baseline " << d.baseline << " -> current "
+        << d.current << " breaks rule " << d.rule;
+      diff.failures.push_back(f.str());
+    }
+    diff.deltas.push_back(std::move(d));
+  }
+  for (const ReportMetric& c : cur.metrics) {
+    bool known = false;
+    for (const ReportMetric& b : base.metrics) {
+      if (b.name == c.name) { known = true; break; }
+    }
+    if (!known) diff.notes.push_back("new metric (not in baseline): " + c.name);
+  }
+
+  // Flag-set changes are advisory: the detectors that matter numerically
+  // already fail through their metrics.
+  for (const std::string& f : cur.flag_names) {
+    if (std::find(base.flag_names.begin(), base.flag_names.end(), f) ==
+        base.flag_names.end()) {
+      diff.notes.push_back("health flag raised: " + f);
+    }
+  }
+  for (const std::string& f : base.flag_names) {
+    if (std::find(cur.flag_names.begin(), cur.flag_names.end(), f) ==
+        cur.flag_names.end()) {
+      diff.notes.push_back("health flag cleared: " + f);
+    }
+  }
+  return diff;
+}
+
+std::string report_diff_text(const ReportDiff& diff) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "== report diff: " << (diff.pass ? "PASS" : "FAIL") << " ==\n";
+  for (const std::string& f : diff.failures) os << "  FAIL " << f << '\n';
+  for (const MetricDelta& d : diff.deltas) {
+    if (d.failed) continue;  // already in failures
+    os << "  ok   " << d.name << ": " << d.baseline << " -> " << d.current
+       << " (delta " << d.delta << ", rule " << d.rule << ")\n";
+  }
+  for (const std::string& n : diff.notes) os << "  note " << n << '\n';
+  return os.str();
+}
+
+}  // namespace grace::sim

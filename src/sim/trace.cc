@@ -4,21 +4,10 @@
 #include <limits>
 #include <sstream>
 
+#include "sim/json_util.h"
 #include "sim/metrics.h"
 
 namespace grace::sim {
-namespace {
-
-void append_escaped(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    if (c == '"' || c == '\\') os << '\\';
-    os << c;
-  }
-  os << '"';
-}
-
-}  // namespace
 
 const char* phase_name(Phase p) {
   switch (p) {

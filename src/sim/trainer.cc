@@ -11,6 +11,7 @@
 #include "core/registry.h"
 #include "faults/injector.h"
 #include "runtime/thread_pool.h"
+#include "sim/critical_path.h"
 #include "sim/fidelity.h"
 #include "sim/metric_registry.h"
 #include "sim/scheduler.h"
@@ -162,6 +163,11 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   Trace* const trace = cfg.trace;
   CompressionFidelityProbe* const fidelity = cfg.fidelity;
   MetricRegistry* const metrics = cfg.metrics;
+  CriticalPathCollector* const cpath = cfg.critical_path;
+  if (cpath != nullptr && cpath->n_ranks() != n) {
+    throw std::invalid_argument(
+        "TrainConfig: critical_path collector sized for a different world");
+  }
 
   auto worker_fn = [&](int rank) {
     auto model = factory(cfg.seed);  // same init seed on every worker
@@ -187,8 +193,10 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     std::vector<core::ExchangeStats> bucket_stats(n_buckets);
     std::vector<BucketTiming> timings(n_buckets);
     // The per-bucket timeline is only needed when something consumes it:
-    // the overlap accounting or the trace (per-bucket start offsets).
-    const bool need_schedule = cfg.time.overlap || trace != nullptr;
+    // the overlap accounting, the trace (per-bucket start offsets), or the
+    // critical-path collector.
+    const bool need_schedule =
+        cfg.time.overlap || trace != nullptr || cpath != nullptr;
     std::vector<int64_t> wrapped;  // slice buffer when the batch wraps
 
     // Live-world view; changes once if the planned crash shrinks the world.
@@ -328,6 +336,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
           sched.absorb_all(grace);
           // No exchange happened, so the pipeline ends with compute.
           if (cfg.time.overlap) log.pipe_s.push_back(result.compute_s);
+          if (cpath) cpath->record(rank, {});  // skipped round: no buckets
           if (rank == 0) ++log.rounds_skipped;
         } else {
           // Submit every bucket (compensate + compress + memory update, all
@@ -368,6 +377,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
               timings[b].decompress_s =
                   s.decompress_seconds * cfg.time.compression_time_scale;
             }
+            if (cpath) cpath->record(rank, timings);
             const BucketSchedule bs =
                 schedule_buckets(timings, result.compute_s, cfg.time.overlap);
             if (trace) {
@@ -494,13 +504,22 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   double compress_sum = 0.0, decompress_sum = 0.0, comm_sum = 0.0,
          stall_sum = 0.0, bytes_sum = 0.0;
   double additive_sum = 0.0, saved_sum = 0.0;
+  result.overlap_enabled = cfg.time.overlap;
+  // Critical-path accumulators (cpath runs only).
+  CriticalPathSummary& cps = result.critical_path;
+  double cp_compute_sum = 0.0, cp_codec_sum = 0.0, cp_link_sum = 0.0,
+         cp_optimizer_sum = 0.0, cp_stall_sum = 0.0, cp_iter_sum = 0.0;
+  std::array<double, kScenarios.size()> whatif_sum{};
+  std::vector<std::span<const BucketTiming>> rank_spans;
   for (int64_t it = 0; it < total_iters; ++it) {
     // The slowest worker this iteration sets the compression overhead; use
     // that worker's compress/decompress split so the phase columns sum to
     // exactly the charged overhead.
     double max_overhead = 0.0, max_compress = 0.0, max_decompress = 0.0;
     double max_stall = 0.0, max_pipe = 0.0;
-    for (const auto& log : logs) {
+    int pipe_rank = -1;  // which rank's pipeline bound (overlap runs)
+    for (size_t r = 0; r < logs.size(); ++r) {
+      const WorkerLog& log = logs[r];
       if (static_cast<size_t>(it) >= log.losses.size()) continue;  // rank died
       const double c = log.compress_s[static_cast<size_t>(it)];
       const double d = log.decompress_s[static_cast<size_t>(it)];
@@ -511,7 +530,13 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       }
       max_stall = std::max(max_stall, log.stall_s[static_cast<size_t>(it)]);
       if (cfg.time.overlap) {
-        max_pipe = std::max(max_pipe, log.pipe_s[static_cast<size_t>(it)]);
+        // Strict > matches std::max's keep-the-first tie rule, so the
+        // tracked rank is exactly the one whose pipe value max_pipe holds.
+        const double p = log.pipe_s[static_cast<size_t>(it)];
+        if (p > max_pipe || pipe_rank < 0) {
+          max_pipe = std::max(max_pipe, p);
+          pipe_rank = static_cast<int>(r);
+        }
       }
     }
     const double comm = logs[0].comm_s[static_cast<size_t>(it)];
@@ -529,6 +554,39 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     comm_sum += comm;
     stall_sum += max_stall;
     bytes_sum += static_cast<double>(logs[0].wire_bytes[static_cast<size_t>(it)]);
+    if (cpath != nullptr) {
+      // Assemble the binding-rank view from the exact doubles above and
+      // attribute the iteration; the re-derived iteration_s is bitwise
+      // equal to `iter` (same schedule inputs, same summation order).
+      IterationCosts costs;
+      costs.compute_s = result.compute_s;
+      costs.codec_s = max_overhead;
+      costs.comm_s = comm;
+      costs.optimizer_s = optimizer_s;
+      costs.stall_s = max_stall;
+      if (cfg.time.overlap && pipe_rank >= 0) {
+        costs.timings = cpath->timings(pipe_rank, it);
+      }
+      rank_spans.clear();
+      for (size_t r = 0; r < logs.size(); ++r) {
+        if (static_cast<size_t>(it) >= logs[r].losses.size()) continue;
+        rank_spans.push_back(cpath->timings(static_cast<int>(r), it));
+      }
+      IterationAttribution a = attribute_iteration(costs, cfg.time.overlap);
+      cp_compute_sum += a.compute_s;
+      cp_codec_sum += a.codec_s;
+      cp_link_sum += a.link_s;
+      cp_optimizer_sum += a.optimizer_s;
+      cp_stall_sum += a.stall_s;
+      cp_iter_sum += a.iteration_s;
+      ++cps.bound_iters[static_cast<size_t>(a.binding)];
+      cps.per_iteration.push_back(a);
+      for (size_t s = 0; s < kScenarios.size(); ++s) {
+        whatif_sum[s] +=
+            reprice_iteration(costs, rank_spans, cfg.time.overlap,
+                              kScenarios[s]);
+      }
+    }
   }
   if (total_iters > 0) {
     const auto iters = static_cast<double>(total_iters);
@@ -548,6 +606,33 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     result.overlap_saved_s = saved_sum / iters;
     result.overlap_fraction =
         additive_sum > 0.0 ? saved_sum / additive_sum : 0.0;
+    if (cpath != nullptr) {
+      cps.collected = true;
+      cps.iterations = total_iters;
+      cps.mean.compute_s = cp_compute_sum / iters;
+      cps.mean.codec_s = cp_codec_sum / iters;
+      cps.mean.link_s = cp_link_sum / iters;
+      cps.mean.optimizer_s = cp_optimizer_sum / iters;
+      cps.mean.stall_s = cp_stall_sum / iters;
+      // cp_iter_sum accumulated the same bitwise values as iter_sum in the
+      // same order, so the mean matches result.iteration_s exactly; fold
+      // the category-rounding residue so the mean ledger closes too.
+      cps.mean.iteration_s = cp_iter_sum / iters;
+      close_ledger(cps.mean);
+      size_t top = 0;
+      for (size_t r = 1; r < kNumResources; ++r) {
+        if (cps.bound_iters[r] > cps.bound_iters[top]) top = r;
+      }
+      cps.mean.binding = static_cast<Resource>(top);
+      for (size_t s = 0; s < kScenarios.size(); ++s) {
+        WhatIfResult w;
+        w.name = scenario_name(kScenarios[s]);
+        w.iteration_s = whatif_sum[s] / iters;
+        w.speedup =
+            w.iteration_s > 0.0 ? result.iteration_s / w.iteration_s : 1.0;
+        cps.what_ifs.push_back(std::move(w));
+      }
+    }
   }
 
   // Steady-state throughput over the trailing window (paper: last 100 iters).

@@ -20,6 +20,7 @@ namespace grace::sim {
 class Trace;
 class CompressionFidelityProbe;
 class MetricRegistry;
+class CriticalPathCollector;
 
 using ReplicaFactory =
     std::function<std::unique_ptr<models::DistributedModel>(uint64_t init_seed)>;
@@ -71,6 +72,13 @@ struct TrainConfig {
   // them into RunResult::metric_counters / metric_histograms. When null
   // the cost is one branch per exchange.
   MetricRegistry* metrics = nullptr;
+  // Optional critical-path collector (sim/critical_path.h, not owned).
+  // When set, every worker records its per-iteration bucket timings and the
+  // trainer fills RunResult::critical_path: per-iteration resource
+  // attribution (honesty contract: attributed seconds sum bitwise-exactly
+  // to the iteration's charge) and deterministic what-if re-pricings. When
+  // null the cost is one branch per iteration.
+  CriticalPathCollector* critical_path = nullptr;
   // Optional deterministic fault plan (src/faults, docs/RESILIENCE.md; not
   // owned). When set, the trainer installs a FaultInjector on the World
   // (message drops / corruption with simulated retries), injects straggler

@@ -1,0 +1,306 @@
+// Run reports (sim/report.h): scoreboard construction, deterministic
+// serialization, the health detectors, and the regression-diff verdict —
+// including the CI contract that a diff passes against a fresh same-seed
+// rerun but fails on an injected slowdown or a vanished metric.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "json_checker.h"
+#include "sim/critical_path.h"
+#include "sim/metric_registry.h"
+#include "sim/report.h"
+#include "sim/tasks.h"
+#include "sim/trainer.h"
+
+namespace grace::sim {
+namespace {
+
+Benchmark tiny_cnn() { return make_cnn_classification(0.1); }
+
+TrainConfig tiny_config(const Benchmark& b, int workers = 4) {
+  TrainConfig cfg = default_config(b);
+  cfg.n_workers = workers;
+  cfg.net.n_workers = workers;
+  cfg.epochs = 2;
+  return cfg;
+}
+
+const ReportMetric* find_metric(const RunReport& r, std::string_view name) {
+  for (const ReportMetric& m : r.metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+bool has_flag(const RunReport& r, std::string_view name) {
+  for (const HealthFlag& f : r.flags) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+TEST(RunReport, CarriesTheScoreboardAndSerializesDeterministically) {
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.grace.compressor_spec = "topk(0.01)";
+  MetricRegistry registry(cfg.n_workers);
+  CriticalPathCollector collector(cfg.n_workers);
+  cfg.metrics = &registry;
+  cfg.critical_path = &collector;
+  const RunResult run = train(b.factory, cfg);
+
+  const RunReport report = build_run_report(run, {}, &registry);
+  EXPECT_EQ(report.model, run.model);
+  EXPECT_EQ(report.compressor, "topk(0.01)");
+  EXPECT_TRUE(report.critical_path.collected);
+
+  // The scoreboard rows a diff consumer depends on.
+  for (const char* name :
+       {"parameters_crc32", "replicas_in_sync", "comm_messages",
+        "wire_bytes_per_iter", "iteration_seconds", "final_quality",
+        "critical_path.compute_share", "whatif.infinite_bandwidth.speedup",
+        "health.flags"}) {
+    EXPECT_NE(find_metric(report, name), nullptr) << name;
+  }
+  EXPECT_EQ(find_metric(report, "health.flags")->value,
+            static_cast<double>(report.flags.size()));
+
+  // The JSON is a pure function of the report: parse-clean, stable keys,
+  // byte-identical on re-serialization.
+  const std::string json = run_report_json(report);
+  testing::JsonChecker checker(json);
+  ASSERT_TRUE(checker.parse()) << json;
+  for (const char* key : {"schema", "model", "compressor", "topology",
+                          "quality_metric", "overlap", "metrics", "flags",
+                          "critical_path"}) {
+    EXPECT_TRUE(checker.keys().count(key)) << key;
+  }
+  EXPECT_EQ(json, run_report_json(report));
+
+  // The human summary mentions the essentials without throwing.
+  const std::string text = run_report_text(report);
+  EXPECT_NE(text.find("run report"), std::string::npos);
+  EXPECT_NE(text.find("topk(0.01)"), std::string::npos);
+}
+
+TEST(RunReport, SameSeedRunsAgreeOnDeterministicMetricsAndPassTheDiff) {
+  // The simulated side of the hybrid time accounting is a pure function of
+  // the seed, so those scoreboard rows must match bitwise across reruns;
+  // only the measured codec timings may drift, and the diff rules absorb
+  // exactly that drift — a same-seed rerun must produce a PASS verdict.
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.grace.compressor_spec = "qsgd(64)";
+  CriticalPathCollector c1(cfg.n_workers), c2(cfg.n_workers);
+  cfg.critical_path = &c1;
+  const RunResult r1 = train(b.factory, cfg);
+  cfg.critical_path = &c2;
+  const RunResult r2 = train(b.factory, cfg);
+  const RunReport a = build_run_report(r1);
+  const RunReport bb = build_run_report(r2);
+
+  for (const char* name :
+       {"parameters_crc32", "replicas_in_sync", "model_parameters",
+        "gradient_tensors", "buckets_per_iter", "epochs", "samples_per_epoch",
+        "comm_messages", "comm_payload_bytes", "wire_bytes_per_iter",
+        "compute_seconds", "comm_seconds", "optimizer_seconds",
+        "stall_seconds", "final_quality", "best_quality",
+        "critical_path.iterations", "health.flags"}) {
+    const ReportMetric* ma = find_metric(a, name);
+    const ReportMetric* mb = find_metric(bb, name);
+    ASSERT_NE(ma, nullptr) << name;
+    ASSERT_NE(mb, nullptr) << name;
+    EXPECT_EQ(ma->value, mb->value) << name;
+  }
+
+  const ReportDiff diff = diff_reports(run_report_json(a), run_report_json(bb));
+  EXPECT_TRUE(diff.pass) << report_diff_text(diff);
+  EXPECT_TRUE(diff.failures.empty());
+  EXPECT_FALSE(diff.deltas.empty());
+}
+
+TEST(RunReport, StragglerRunRaisesHealthFlags) {
+  Benchmark b = tiny_cnn();
+  faults::FaultSpec spec;
+  spec.straggler_prob = 1.0;
+  spec.straggler_rank = 2;
+  spec.straggler_delay_s = 0.05;  // dwarfs the sub-ms iteration
+  const faults::FaultPlan plan(spec);
+  TrainConfig cfg = tiny_config(b);
+  cfg.faults = &plan;
+  MetricRegistry registry(cfg.n_workers);
+  cfg.metrics = &registry;
+  const RunResult run = train(b.factory, cfg);
+
+  const RunReport report = build_run_report(run, {}, &registry);
+  EXPECT_TRUE(has_flag(report, "stall_share"));
+  // Only rank 2 stalls, so the per-rank series single it out.
+  EXPECT_TRUE(has_flag(report, "straggler_outlier"));
+  EXPECT_GE(report.flags.size(), 2u);
+
+  // Verdicts are mirrored into the registry as health counters.
+  bool saw_count = false, saw_flag = false;
+  for (const CounterSnapshot& c : registry.counters()) {
+    if (c.name == "health.flags") saw_count = c.value == report.flags.size();
+    if (c.name == "health.flag.straggler_outlier") saw_flag = c.value == 1;
+  }
+  EXPECT_TRUE(saw_count);
+  EXPECT_TRUE(saw_flag);
+}
+
+TEST(RunReport, SyntheticSignalsTripEveryDetector) {
+  RunResult result;
+  result.model = "synthetic";
+  result.iteration_s = 1.0;
+  result.phases.stall_s = 0.2;         // stall_share 20% > 5%
+  result.comm_messages = 100;
+  result.faults.retries = 20;          // retry_storm 20% > 10%
+  TensorFidelitySummary fid;
+  fid.name = "g";
+  fid.samples = 5;
+  fid.cosine_similarity = 0.5;         // below the 0.70 floor
+  fid.sign_agreement = 0.5;            // below the 0.60 floor
+  result.fidelity.push_back(fid);
+  result.overlap_enabled = true;
+  result.compress_s = 0.2;
+  result.comm_s = 0.3;                 // 50% exchange share...
+  result.overlap_fraction = 0.01;      // ...but only 1% recovered
+
+  const RunReport report = build_run_report(result);
+  EXPECT_TRUE(has_flag(report, "stall_share"));
+  EXPECT_TRUE(has_flag(report, "retry_storm"));
+  EXPECT_TRUE(has_flag(report, "fidelity_collapse"));
+  EXPECT_TRUE(has_flag(report, "overlap_regression"));
+  EXPECT_EQ(find_metric(report, "health.flags")->value, 4.0);
+
+  // The same signals under lenient thresholds raise nothing: the verdicts
+  // are the thresholds', not hard-coded.
+  ReportOptions lenient;
+  lenient.stall_share = 0.5;
+  lenient.retry_storm_ratio = 0.5;
+  lenient.min_cosine = 0.1;
+  lenient.min_sign_agreement = 0.1;
+  lenient.min_overlap_fraction = 0.001;
+  const RunReport quiet = build_run_report(result, lenient);
+  EXPECT_TRUE(quiet.flags.empty());
+  EXPECT_EQ(find_metric(quiet, "health.flags")->value, 0.0);
+}
+
+TEST(RunReport, DiffPassesOnItself) {
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  CriticalPathCollector collector(cfg.n_workers);
+  cfg.critical_path = &collector;
+  const RunResult run = train(b.factory, cfg);
+  const std::string json = run_report_json(build_run_report(run));
+
+  const ReportDiff diff = diff_reports(json, json);
+  EXPECT_TRUE(diff.pass);
+  EXPECT_TRUE(diff.failures.empty());
+  ASSERT_FALSE(diff.deltas.empty());
+  for (const MetricDelta& d : diff.deltas) {
+    EXPECT_FALSE(d.failed) << d.name;
+    EXPECT_EQ(d.delta, 0.0) << d.name;
+  }
+}
+
+TEST(RunReport, DiffFailsOnInjectedSlowdown) {
+  // The chaos drill behind the bench_report_check gate: scale the measured
+  // codec pricing 1000x and the loose measured-timing rules must still
+  // trip.
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.grace.compressor_spec = "topk(0.01)";
+  CriticalPathCollector c1(cfg.n_workers), c2(cfg.n_workers);
+  cfg.critical_path = &c1;
+  const RunResult baseline = train(b.factory, cfg);
+  cfg.time.compression_time_scale *= 1000.0;
+  cfg.critical_path = &c2;
+  const RunResult slowed = train(b.factory, cfg);
+
+  const ReportDiff diff =
+      diff_reports(run_report_json(build_run_report(baseline)),
+                   run_report_json(build_run_report(slowed)));
+  EXPECT_FALSE(diff.pass);
+  ASSERT_FALSE(diff.failures.empty());
+  bool timing_failed = false;
+  for (const MetricDelta& d : diff.deltas) {
+    if (d.failed && (d.name == "iteration_seconds" ||
+                     d.name == "compress_seconds" ||
+                     d.name == "total_sim_seconds")) {
+      timing_failed = true;
+    }
+  }
+  EXPECT_TRUE(timing_failed);
+}
+
+TEST(RunReport, VanishedBaselineMetricFailsUnknownMetricIsANote) {
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.epochs = 1;
+  const RunResult run = train(b.factory, cfg);
+  const std::string json = run_report_json(build_run_report(run));
+
+  // Rename one metric: the baseline's row vanishes from the current report
+  // (fail) and an unknown row appears (note, not fail).
+  std::string renamed = json;
+  const size_t at = renamed.find("\"comm_messages\"");
+  ASSERT_NE(at, std::string::npos);
+  renamed.replace(at, 15, "\"comm_messagesX\"");
+
+  const ReportDiff diff = diff_reports(json, renamed);
+  EXPECT_FALSE(diff.pass);
+  bool missing_reported = false;
+  for (const std::string& f : diff.failures) {
+    if (f.find("comm_messages") != std::string::npos) missing_reported = true;
+  }
+  EXPECT_TRUE(missing_reported);
+  bool unknown_noted = false;
+  for (const std::string& n : diff.notes) {
+    if (n.find("comm_messagesX") != std::string::npos) unknown_noted = true;
+  }
+  EXPECT_TRUE(unknown_noted);
+
+  // The reverse direction only gains a metric: that is a note, not a
+  // regression.
+  const ReportDiff gained = diff_reports(renamed, json);
+  EXPECT_FALSE(gained.pass);  // comm_messagesX vanished in this direction
+}
+
+TEST(RunReport, FlagChangesAreNotesNotFailures) {
+  Benchmark b = tiny_cnn();
+  TrainConfig cfg = tiny_config(b);
+  cfg.epochs = 1;
+  const RunResult run = train(b.factory, cfg);
+  const RunReport clean = build_run_report(run);
+  RunReport flagged = clean;
+  flagged.flags.push_back(
+      HealthFlag{"synthetic_flag", "injected by the test", 2.0, 1.0});
+
+  const ReportDiff raised =
+      diff_reports(run_report_json(clean), run_report_json(flagged));
+  EXPECT_TRUE(raised.pass) << report_diff_text(raised);
+  bool noted = false;
+  for (const std::string& n : raised.notes) {
+    if (n.find("raised") != std::string::npos &&
+        n.find("synthetic_flag") != std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+
+  const ReportDiff cleared =
+      diff_reports(run_report_json(flagged), run_report_json(clean));
+  EXPECT_TRUE(cleared.pass);
+  bool cleared_noted = false;
+  for (const std::string& n : cleared.notes) {
+    if (n.find("cleared") != std::string::npos) cleared_noted = true;
+  }
+  EXPECT_TRUE(cleared_noted);
+}
+
+}  // namespace
+}  // namespace grace::sim
