@@ -41,16 +41,45 @@ GraceWorker::GraceWorker(const GraceConfig& cfg, comm::Comm comm,
     : topology_(cfg.topology),
       topo_(comm::make_topology(cfg.topology, net)),
       wire_codec_(cfg.wire_codec),
+      base_spec_(cfg.compressor_spec),
       q_(make_compressor(cfg.compressor_spec)),
       comm_(comm),
       net_(net),
       rng_(rng_seed) {
-  const bool ef = cfg.error_feedback.value_or(q_->info().default_error_feedback);
+  // With a controller configured, any arm may end up serving any bucket at
+  // some point of the run, so the EF default is the OR over the base
+  // compressor and every arm: a bucket switched onto an EF-default arm
+  // must find a live ResidualMemory. An explicit error_feedback setting
+  // still wins.
+  bool ef_default = q_->info().default_error_feedback;
+  for (const std::string& arm : cfg.control.arms) {
+    ef_default = ef_default ||
+                 make_compressor(arm)->info().default_error_feedback;
+  }
+  const bool ef = cfg.error_feedback.value_or(ef_default);
   if (ef) {
     memory_ = std::make_unique<ResidualMemory>(cfg.ef_beta, cfg.ef_gamma);
   } else {
     memory_ = std::make_unique<NoMemory>();
   }
+}
+
+void GraceWorker::set_compressor_override(const std::string& name,
+                                          const std::string& spec) {
+  if (spec == base_spec_) {
+    overrides_.erase(name);
+    return;
+  }
+  auto it = arm_pool_.find(spec);
+  if (it == arm_pool_.end()) {
+    it = arm_pool_.emplace(spec, make_compressor(spec)).first;
+  }
+  overrides_[name] = it->second.get();
+}
+
+Compressor& GraceWorker::compressor_for(const std::string& name) {
+  const auto it = overrides_.find(name);
+  return it != overrides_.end() ? *it->second : *q_;
 }
 
 void GraceWorker::rebind(comm::Comm comm, const comm::NetworkModel& net) {
@@ -80,12 +109,14 @@ ExchangeHandle GraceWorker::submit(const Tensor& grad, const std::string& name,
   ExchangeHandle h;
   h.instrumented = instrument;
   h.tag = next_tag_++;
+  h.compressor = &compressor_for(name);
+  Compressor& q = *h.compressor;
   ExchangeStats* const sp = instrument ? &h.stats : nullptr;
 
   // Lines 5-6: g~ = Q(phi(m, g)); m = psi(...).
   const double t0 = sp ? now_seconds() : 0.0;
   Tensor compensated = memory_->compensate(grad, name);
-  h.payload = q_->compress(compensated, name, rng_);
+  h.payload = q.compress(compensated, name, rng_);
   // Lossless wire stage, inside the timed region: the coding cost lands in
   // compress_seconds and the coded size in wire_bytes, so the scheduler's
   // codec-rate pipeline and the NetworkModel both see the real trade.
@@ -94,7 +125,7 @@ ExchangeHandle GraceWorker::submit(const Tensor& grad, const std::string& name,
   }
   Tensor reconstruction;  // Q^-1(Q(phi)); only materialized when needed
   if (memory_->enabled()) {
-    reconstruction = q_->decompress(h.payload);
+    reconstruction = q.decompress(h.payload);
     memory_->update(name, compensated, reconstruction);
   }
   if (sp) {
@@ -103,7 +134,7 @@ ExchangeHandle GraceWorker::submit(const Tensor& grad, const std::string& name,
   }
   if (probe_) {
     // Outside the timed region: probing must not inflate compress_seconds.
-    if (reconstruction.empty()) reconstruction = q_->decompress(h.payload);
+    if (reconstruction.empty()) reconstruction = q.decompress(h.payload);
     probe_fidelity(name, compensated, h.payload, reconstruction);
   }
   return h;
@@ -113,16 +144,17 @@ Tensor GraceWorker::wait(ExchangeHandle&& h, ExchangeStats* stats) {
   // The collective reads h.stats.wire_bytes for its cost model, so the
   // comm/decompress charges accumulate onto the submit-side stats.
   ExchangeStats* const sp = h.instrumented ? &h.stats : nullptr;
+  Compressor& q = h.compressor != nullptr ? *h.compressor : *q_;
   Tensor aggregated;
   switch (topology_.kind) {
     case comm::TopologyKind::ParameterServer:
-      aggregated = exchange_parameter_server(h.payload, h.tag, sp);
+      aggregated = exchange_parameter_server(q, h.payload, h.tag, sp);
       break;
     case comm::TopologyKind::Hierarchical:
-      aggregated = exchange_hierarchical(h.payload, h.tag, sp);
+      aggregated = exchange_hierarchical(q, h.payload, h.tag, sp);
       break;
     case comm::TopologyKind::Ring:
-      aggregated = exchange_collective(h.payload, h.tag, sp);
+      aggregated = exchange_collective(q, h.payload, h.tag, sp);
       break;
   }
   if (stats) *stats += h.stats;
@@ -153,7 +185,7 @@ void GraceWorker::probe_fidelity(const std::string& name,
   }
 
   FidelitySample s;
-  s.rank = comm_.rank();
+  s.rank = probe_rank_ >= 0 ? probe_rank_ : comm_.rank();
   s.tensor = name;
   s.numel = compensated.numel();
   s.dense_bits = static_cast<uint64_t>(s.numel) * 32;
@@ -182,10 +214,11 @@ void GraceWorker::probe_fidelity(const std::string& name,
   probe_->on_sample(s);
 }
 
-Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
+Tensor GraceWorker::exchange_collective(Compressor& q,
+                                        const CompressedTensor& compressed,
                                         int tag, ExchangeStats* stats) {
   Tensor aggregated;
-  if (q_->comm_mode() == CommMode::Allreduce) {
+  if (q.comm_mode() == CommMode::Allreduce) {
     // Lines 8-9: summing payloads commutes with Q^-1 for Allreduce-capable
     // compressors; divide by n after decompression.
     CompressedTensor summed = compressed;
@@ -194,7 +227,7 @@ Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
     }
     if (stats) stats->comm_seconds += topo_->allreduce_seconds(stats->wire_bytes);
     const double t0 = stats ? now_seconds() : 0.0;
-    aggregated = q_->decompress(summed);
+    aggregated = q.decompress(summed);
     ops::scale(aggregated.f32(), 1.0f / static_cast<float>(comm_.size()));
     if (stats) stats->decompress_seconds += now_seconds() - t0;
   } else {
@@ -207,14 +240,14 @@ Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
     uint64_t others_bytes = 0;
     for (int peer = 0; peer < static_cast<int>(blobs.size()); ++peer) {
       if (peer == comm_.rank()) {
-        decompressed.push_back(q_->decompress(compressed));
+        decompressed.push_back(q.decompress(compressed));
       } else {
         CompressedTensor ct = deserialize(blobs[static_cast<size_t>(peer)]);
         others_bytes += ct.wire_bytes();
-        decompressed.push_back(q_->decompress(ct));
+        decompressed.push_back(q.decompress(ct));
       }
     }
-    aggregated = q_->aggregate(decompressed);
+    aggregated = q.aggregate(decompressed);
     if (stats) {
       stats->decompress_seconds += now_seconds() - t0;
       stats->comm_seconds +=
@@ -224,7 +257,8 @@ Tensor GraceWorker::exchange_collective(const CompressedTensor& compressed,
   return aggregated;
 }
 
-Tensor GraceWorker::exchange_hierarchical(const CompressedTensor& compressed,
+Tensor GraceWorker::exchange_hierarchical(Compressor& q,
+                                          const CompressedTensor& compressed,
                                           int tag, ExchangeStats* stats) {
   // Same two CommMode paths as exchange_collective, over the two-level
   // rack-aware collectives. Results are identical on every rank (the
@@ -233,14 +267,14 @@ Tensor GraceWorker::exchange_hierarchical(const CompressedTensor& compressed,
   // float-close, not bit-equal, to the Ring topology's.
   const int rack = topology_.ranks_per_rack;
   Tensor aggregated;
-  if (q_->comm_mode() == CommMode::Allreduce) {
+  if (q.comm_mode() == CommMode::Allreduce) {
     CompressedTensor summed = compressed;
     for (auto& part : summed.parts) {
       comm::hierarchical_allreduce_sum(comm_, part.f32(), rack, tag);
     }
     if (stats) stats->comm_seconds += topo_->allreduce_seconds(stats->wire_bytes);
     const double t0 = stats ? now_seconds() : 0.0;
-    aggregated = q_->decompress(summed);
+    aggregated = q.decompress(summed);
     ops::scale(aggregated.f32(), 1.0f / static_cast<float>(comm_.size()));
     if (stats) stats->decompress_seconds += now_seconds() - t0;
   } else {
@@ -253,14 +287,14 @@ Tensor GraceWorker::exchange_hierarchical(const CompressedTensor& compressed,
     uint64_t others_bytes = 0;
     for (int peer = 0; peer < static_cast<int>(blobs.size()); ++peer) {
       if (peer == comm_.rank()) {
-        decompressed.push_back(q_->decompress(compressed));
+        decompressed.push_back(q.decompress(compressed));
       } else {
         CompressedTensor ct = deserialize(blobs[static_cast<size_t>(peer)]);
         others_bytes += ct.wire_bytes();
-        decompressed.push_back(q_->decompress(ct));
+        decompressed.push_back(q.decompress(ct));
       }
     }
-    aggregated = q_->aggregate(decompressed);
+    aggregated = q.aggregate(decompressed);
     if (stats) {
       stats->decompress_seconds += now_seconds() - t0;
       stats->comm_seconds +=
@@ -270,8 +304,9 @@ Tensor GraceWorker::exchange_hierarchical(const CompressedTensor& compressed,
   return aggregated;
 }
 
-Tensor GraceWorker::exchange_parameter_server(const CompressedTensor& compressed,
-                                              int tag, ExchangeStats* stats) {
+Tensor GraceWorker::exchange_parameter_server(
+    Compressor& q, const CompressedTensor& compressed, int tag,
+    ExchangeStats* stats) {
   // The serving shard collects every worker's compressed payload,
   // decompresses, aggregates (Agg), and pushes the dense aggregate back.
   // Equivalent result to the Allgather path because aggregation visits
@@ -293,17 +328,17 @@ Tensor GraceWorker::exchange_parameter_server(const CompressedTensor& compressed
     for (int peer = 0; peer < n; ++peer) {
       if (peer == server) {
         const double t0 = stats ? now_seconds() : 0.0;
-        decompressed.push_back(q_->decompress(compressed));
+        decompressed.push_back(q.decompress(compressed));
         if (stats) stats->decompress_seconds += now_seconds() - t0;
         continue;
       }
       CompressedTensor ct = deserialize(comm_.recv(peer, tag));
       total_upload += ct.wire_bytes();
       const double t1 = stats ? now_seconds() : 0.0;
-      decompressed.push_back(q_->decompress(ct));
+      decompressed.push_back(q.decompress(ct));
       if (stats) stats->decompress_seconds += now_seconds() - t1;
     }
-    aggregated = q_->aggregate(decompressed);
+    aggregated = q.aggregate(decompressed);
     for (int peer = 0; peer < n; ++peer) {
       if (peer != server) comm_.send(peer, aggregated, tag);
     }

@@ -7,13 +7,16 @@
 // (bit-packed) wire sizes, because the in-process transport has no real NIC.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "comm/collectives.h"
 #include "comm/network_model.h"
 #include "comm/topology.h"
+#include "control/config.h"
 #include "core/compressor.h"
 #include "core/memory.h"
 #include "core/probe.h"
@@ -46,6 +49,12 @@ struct ExchangeHandle {
   int tag = 0;
   bool instrumented = false;
   ExchangeStats stats;  // compress_seconds + wire_bytes, filled by submit()
+  // The compressor this payload was produced with (the worker's base
+  // compressor, or a controller-selected per-bucket override). wait()
+  // dispatches on ITS CommMode and decompresses with it, so a handle stays
+  // self-consistent even if the controller re-routes the bucket between
+  // submit and wait. Null falls back to the base compressor.
+  Compressor* compressor = nullptr;
 };
 
 struct GraceConfig {
@@ -69,6 +78,13 @@ struct GraceConfig {
   // NetworkModel all see the coded wire format. None preserves the seed
   // behavior (raw 32-bit indices) exactly.
   WireCodec wire_codec = WireCodec::None;
+  // Adaptive per-bucket compression controller knobs (DESIGN.md §11).
+  // Off by default (control.arms empty); when on, the trainer drives
+  // set_compressor_override at decision boundaries to re-route individual
+  // buckets between the candidate arms. When error_feedback is unset, EF
+  // turns on if the base compressor OR any arm defaults it on, so a
+  // bucket switched onto an EF arm mid-run has a live ResidualMemory.
+  control::ControlConfig control;
 };
 
 class GraceWorker {
@@ -115,20 +131,47 @@ class GraceWorker {
   bool error_feedback_enabled() const { return memory_->enabled(); }
   int rank() const { return comm_.rank(); }
 
+  // Controller hooks (src/control, DESIGN.md §11). Route all subsequent
+  // submits of `name` through `spec` instead of the base compressor. One
+  // instance per distinct spec is kept in a pool and SHARED across names —
+  // safe because compressor state (momentum, thresholds) is keyed by the
+  // tensor name, exactly like the base compressor serving every tensor.
+  // Passing the construction spec clears the override (the bucket rejoins
+  // the base instance, whose per-name state it never left).
+  void set_compressor_override(const std::string& name,
+                               const std::string& spec);
+  // The compressor a submit of `name` would use right now.
+  Compressor& compressor_for(const std::string& name);
+  // Drop the error-feedback residual for `name` (the controller's Flush
+  // carry-over policy); no-op when EF is off or nothing is held.
+  void flush_residual(const std::string& name) { memory_->clear(name); }
+
   // Attach / detach a fidelity probe (core/probe.h, not owned). While set,
   // every exchange measures what compression did to the tensor (one extra
   // decompress when error feedback is off) and reports a FidelitySample;
   // when null (the default) the cost is a single pointer test. Callers
   // toggle this between iterations to sample every K-th exchange.
-  void set_probe(ExchangeProbe* probe) { probe_ = probe; }
+  // `probe_rank` overrides the rank recorded on samples: after a crash
+  // shrinks the world, comm_.rank() is the LIVE rank, which would alias a
+  // survivor's samples into the dead rank's slot; the trainer passes the
+  // stable physical rank instead so per-rank windows stay well-defined
+  // across a rebind. Negative keeps the comm rank (the default).
+  void set_probe(ExchangeProbe* probe, int probe_rank = -1) {
+    probe_ = probe;
+    probe_rank_ = probe_rank;
+  }
 
  private:
-  // `stats` may be null: the exchange still runs, only accounting is skipped.
-  Tensor exchange_collective(const CompressedTensor& compressed, int tag,
-                             ExchangeStats* stats);
-  Tensor exchange_hierarchical(const CompressedTensor& compressed, int tag,
+  // `stats` may be null: the exchange still runs, only accounting is
+  // skipped. `q` is the compressor the payload was produced with (carried
+  // on the handle), not necessarily the base compressor.
+  Tensor exchange_collective(Compressor& q, const CompressedTensor& compressed,
+                             int tag, ExchangeStats* stats);
+  Tensor exchange_hierarchical(Compressor& q,
+                               const CompressedTensor& compressed, int tag,
                                ExchangeStats* stats);
-  Tensor exchange_parameter_server(const CompressedTensor& compressed, int tag,
+  Tensor exchange_parameter_server(Compressor& q,
+                                   const CompressedTensor& compressed, int tag,
                                    ExchangeStats* stats);
 
   // Measure fidelity of `reconstruction` (= Q^-1(Q(compensated))) against
@@ -140,12 +183,20 @@ class GraceWorker {
   comm::TopologyConfig topology_;
   std::unique_ptr<comm::TopologyModel> topo_;
   WireCodec wire_codec_;
+  std::string base_spec_;
   std::unique_ptr<Compressor> q_;
+  // Controller arm pool: one shared instance per distinct override spec,
+  // plus the name -> instance routing table. Pool entries are stable for
+  // the worker's lifetime (overrides may be cleared but instances persist,
+  // keeping their per-name state for a later switch back).
+  std::map<std::string, std::unique_ptr<Compressor>> arm_pool_;
+  std::unordered_map<std::string, Compressor*> overrides_;
   std::unique_ptr<Memory> memory_;
   comm::Comm comm_;
   comm::NetworkModel net_;
   Rng rng_;
   ExchangeProbe* probe_ = nullptr;
+  int probe_rank_ = -1;
   int next_tag_ = 1;
 };
 

@@ -20,6 +20,9 @@ class Memory {
   // decompressed payload Q^-1(Q(phi)), store the new residual.
   virtual void update(const std::string& name, const Tensor& compensated,
                       const Tensor& decompressed) = 0;
+  // Drop any residual held for `name` (the controller's Flush carry-over
+  // policy when a bucket's compressor is switched). Default: nothing held.
+  virtual void clear(const std::string& /*name*/) {}
   virtual bool enabled() const = 0;
 };
 
@@ -39,6 +42,7 @@ class ResidualMemory final : public Memory {
   Tensor compensate(const Tensor& grad, const std::string& name) override;
   void update(const std::string& name, const Tensor& compensated,
               const Tensor& decompressed) override;
+  void clear(const std::string& name) override { residuals_.erase(name); }
   bool enabled() const override { return true; }
 
   float beta() const { return beta_; }

@@ -1,5 +1,6 @@
 #include "core/registry.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -135,7 +136,20 @@ std::unique_ptr<Compressor> make_compressor(const std::string& spec_str) {
   if (auto it = extensions().find(s.name); it != extensions().end()) {
     return it->second(s);
   }
-  throw std::invalid_argument("unknown compressor: " + s.name);
+  // Spell out what IS available: the Table-I names plus every extension
+  // (built-in and user-registered), sorted, so a typo'd spec is
+  // self-diagnosing.
+  std::vector<std::string> known = registered_names();
+  for (const auto& name : extension_names()) known.push_back(name);
+  std::sort(known.begin(), known.end());
+  std::ostringstream msg;
+  msg << "unknown compressor: " << s.name << " (registered: ";
+  for (size_t i = 0; i < known.size(); ++i) {
+    if (i) msg << ", ";
+    msg << known[i];
+  }
+  msg << ")";
+  throw std::invalid_argument(msg.str());
 }
 
 std::vector<std::string> registered_names() {

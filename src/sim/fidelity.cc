@@ -1,5 +1,6 @@
 #include "sim/fidelity.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <sstream>
@@ -29,6 +30,10 @@ void CompressionFidelityProbe::on_sample(const core::FidelitySample& s) {
     acc->name = s.tensor;
     acc->numel = s.numel;
   }
+  if (acc->ring.empty()) acc->ring.resize(kRollingCapacity);
+  acc->ring[static_cast<size_t>(acc->samples % kRollingCapacity)] =
+      RollSample{s.cosine_similarity, s.sign_agreement, s.l2_rel_error,
+                 s.compression_ratio};
   ++acc->samples;
   acc->dense_bits += s.dense_bits;
   acc->wire_bits += s.wire_bits;
@@ -38,6 +43,54 @@ void CompressionFidelityProbe::on_sample(const core::FidelitySample& s) {
   acc->sign_agreement += s.sign_agreement;
   acc->grad_l2 += s.grad_l2;
   acc->residual_l2 += s.residual_l2;
+}
+
+CompressionFidelityProbe::Totals CompressionFidelityProbe::totals(
+    int rank, const std::string& name) const {
+  Totals t;
+  const RankSlot& slot = ranks_.at(static_cast<size_t>(rank));
+  for (const Accum& a : slot.tensors) {
+    if (a.name != name) continue;
+    t.samples = a.samples;
+    t.cosine_sum = a.cosine_similarity;
+    t.sign_sum = a.sign_agreement;
+    t.residual_sum = a.residual_l2;
+    t.grad_sum = a.grad_l2;
+    t.wire_bits = a.wire_bits;
+    t.dense_bits = a.dense_bits;
+    return t;
+  }
+  return t;
+}
+
+CompressionFidelityProbe::Rolling CompressionFidelityProbe::rolling(
+    int rank, const std::string& name, int last_k) const {
+  Rolling r;
+  const RankSlot& slot = ranks_.at(static_cast<size_t>(rank));
+  for (const Accum& a : slot.tensors) {
+    if (a.name != name || a.samples == 0) continue;
+    const int64_t want = last_k < 1 ? 1 : static_cast<int64_t>(last_k);
+    const int64_t have =
+        std::min<int64_t>({want, a.samples, kRollingCapacity});
+    double cos = 0.0, sign = 0.0, err = 0.0, ratio = 0.0;
+    for (int64_t i = 0; i < have; ++i) {
+      // Walk backward from the most recent entry (written at samples-1).
+      const int64_t idx = (a.samples - 1 - i) % kRollingCapacity;
+      const RollSample& rs = a.ring[static_cast<size_t>(idx)];
+      cos += rs.cosine;
+      sign += rs.sign;
+      err += rs.l2_rel_error;
+      ratio += rs.ratio;
+    }
+    r.samples = have;
+    const double k = static_cast<double>(have);
+    r.cosine = cos / k;
+    r.sign_agreement = sign / k;
+    r.l2_rel_error = err / k;
+    r.compression_ratio = ratio / k;
+    return r;
+  }
+  return r;
 }
 
 int64_t CompressionFidelityProbe::samples() const {

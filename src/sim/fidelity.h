@@ -65,9 +65,50 @@ class CompressionFidelityProbe final : public core::ExchangeProbe {
   // rank because all ranks exchange tensors in the same order).
   std::vector<TensorFidelitySummary> summaries() const;
 
+  // Monotonic totals for one (rank, tensor): every field only grows as
+  // samples arrive. The adaptive controller (src/control) differences
+  // consecutive reads to form per-window signals — which is what makes a
+  // resumed run's windows identical to the original run's tail. All zeros
+  // when the pair was never sampled.
+  struct Totals {
+    int64_t samples = 0;
+    double cosine_sum = 0.0;
+    double sign_sum = 0.0;
+    double residual_sum = 0.0;
+    double grad_sum = 0.0;
+    uint64_t wire_bits = 0;
+    uint64_t dense_bits = 0;
+  };
+  Totals totals(int rank, const std::string& name) const;
+
+  // Rolling window over the last `last_k` samples of one (rank, tensor):
+  // plain means, cheap to read every boundary (backed by a small per-tensor
+  // ring, capacity kRollingCapacity — larger k is clamped). samples == 0
+  // (defaults) when the pair was never sampled.
+  struct Rolling {
+    int64_t samples = 0;  // entries actually in the window (<= last_k)
+    double cosine = 1.0;
+    double sign_agreement = 1.0;
+    double l2_rel_error = 0.0;
+    double compression_ratio = 1.0;
+  };
+  static constexpr int kRollingCapacity = 64;
+  Rolling rolling(int rank, const std::string& name, int last_k) const;
+
+  // Thread contract for the per-rank accessors: rank r's slot is written
+  // only by rank r's worker thread, so totals()/rolling() for rank r may
+  // be called from that same thread mid-run (the controller does); reading
+  // OTHER ranks' slots is only safe after the workers have joined.
+
   int n_ranks() const { return static_cast<int>(ranks_.size()); }
 
  private:
+  struct RollSample {
+    double cosine = 0.0;
+    double sign = 0.0;
+    double l2_rel_error = 0.0;
+    double ratio = 0.0;
+  };
   struct Accum {
     std::string name;
     int64_t numel = 0;
@@ -80,6 +121,8 @@ class CompressionFidelityProbe final : public core::ExchangeProbe {
     double sign_agreement = 0.0;
     double grad_l2 = 0.0;
     double residual_l2 = 0.0;
+    // Last kRollingCapacity samples, ring-indexed by samples % capacity.
+    std::vector<RollSample> ring;
   };
   // Cache-line separation between rank slots: ranks record concurrently.
   struct alignas(64) RankSlot {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "control/controller.h"
 #include "faults/counters.h"
 #include "sim/critical_path.h"
 #include "sim/fidelity.h"
@@ -141,6 +142,12 @@ struct RunResult {
   int64_t model_parameters = 0;
   int64_t gradient_tensors = 0;
   bool replicas_in_sync = true;
+
+  // Adaptive-controller outcome (src/control, DESIGN.md §11): the full
+  // decision log, final per-bucket arm assignments, and the serialized
+  // controller state for resuming. enabled == false (the default) when the
+  // run had no controller.
+  control::ControlSummary control;
 
   // Resilience accounting (src/faults); all-zero when no FaultPlan was
   // installed.

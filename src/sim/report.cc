@@ -4,11 +4,14 @@
 #include <cmath>
 #include <cstdlib>
 #include <limits>
+#include <span>
 #include <sstream>
 #include <string_view>
 
+#include "control/controller.h"
 #include "sim/json_util.h"
 #include "sim/metric_registry.h"
+#include "util/crc32.h"
 
 namespace grace::sim {
 namespace {
@@ -59,6 +62,9 @@ constexpr Rule kRules[] = {
     {"fault.crashed_ranks", RuleKind::Exact, 0.0},
     {"fault.straggler_events", RuleKind::Exact, 0.0},
     {"critical_path.iterations", RuleKind::Exact, 0.0},
+    {"control.boundaries", RuleKind::Exact, 0.0},
+    {"control.switches", RuleKind::Exact, 0.0},
+    {"control.decisions_crc32", RuleKind::Exact, 0.0},
     {"wire_bytes_per_iter", RuleKind::Rel, 1e-6},
     {"compute_seconds", RuleKind::Rel, 1e-6},
     {"comm_seconds", RuleKind::Rel, 1e-6},
@@ -277,6 +283,22 @@ RunReport build_run_report(const RunResult& result, const ReportOptions& opts,
   if (probed) {
     add_metric(rep, "fidelity.min_cosine", min_cosine);
     add_metric(rep, "fidelity.min_sign_agreement", min_sign);
+  }
+
+  // Adaptive-controller decisions (src/control): counts plus a CRC over
+  // the deterministic decision-log JSON, so a diff catches ANY change in
+  // the decision sequence — which arm, which signal, which boundary — not
+  // just in how often it switched. All three diff exact.
+  if (result.control.enabled) {
+    add_metric(rep, "control.boundaries",
+               static_cast<double>(result.control.boundaries));
+    add_metric(rep, "control.switches",
+               static_cast<double>(result.control.switches));
+    const std::string decisions =
+        control::control_decisions_json(result.control.decisions);
+    add_metric(rep, "control.decisions_crc32",
+               static_cast<double>(util::crc32(std::as_bytes(
+                   std::span(decisions.data(), decisions.size())))));
   }
 
   if (result.critical_path.collected) {

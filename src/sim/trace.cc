@@ -137,6 +137,7 @@ std::string run_result_json(const RunResult& r) {
   os << ",\"fidelity\":" << fidelity_summaries_json(r.fidelity);
   os << ",\"metrics\":"
      << metrics_json(r.metric_counters, r.metric_histograms);
+  os << ",\"control\":" << control::control_summary_json(r.control);
   os << '}';
   return os.str();
 }

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "comm/collectives.h"
+#include "control/controller.h"
 #include "core/registry.h"
 #include "faults/injector.h"
 #include "runtime/thread_pool.h"
@@ -53,6 +54,11 @@ std::vector<int64_t> epoch_order(int64_t n, uint64_t seed, int epoch) {
   rng.shuffle(std::span<int64_t>(order));
   return order;
 }
+
+// Tag space for the controller's signal allreduces: exchange tags are
+// positive and check_sync uses -epoch-1, so boundary i allreduces at
+// kControlTagBase - i without colliding with either.
+constexpr int kControlTagBase = -1000000;
 
 }  // namespace
 
@@ -147,8 +153,31 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     }
   }
 
-  const bool compressing =
+  bool compressing =
       core::parse_spec(cfg.grace.compressor_spec).name != "none";
+
+  // Adaptive controller setup (src/control, DESIGN.md §11). Validate on
+  // this thread — a bad policy name or arm spec must not throw inside a
+  // worker — and auto-attach an internal fidelity probe when the caller
+  // did not supply one (the controller's signals come from the probe).
+  const control::ControlConfig& ctl_cfg = cfg.grace.control;
+  const bool ctl_on = ctl_cfg.enabled();
+  std::unique_ptr<CompressionFidelityProbe> ctl_probe_storage;
+  std::vector<std::unique_ptr<control::Controller>> controllers(
+      static_cast<size_t>(ctl_on ? n : 0));
+  if (ctl_on) {
+    ctl_cfg.validate();
+    for (const std::string& arm : ctl_cfg.arms) {
+      core::make_compressor(arm);  // fail fast on an unknown arm spec
+      // Any arm may serve any bucket at some point: the per-tensor
+      // dispatch overhead applies whenever any candidate compresses.
+      compressing = compressing || core::parse_spec(arm).name != "none";
+    }
+    if (cfg.fidelity == nullptr) {
+      ctl_probe_storage = std::make_unique<CompressionFidelityProbe>(
+          n, ctl_cfg.probe_every_k);
+    }
+  }
 
   // Simulated per-iteration device times, identical on every worker.
   result.compute_s =
@@ -161,12 +190,18 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   const double backward_iter_s = result.compute_s * backward_share;
 
   Trace* const trace = cfg.trace;
-  CompressionFidelityProbe* const fidelity = cfg.fidelity;
+  CompressionFidelityProbe* const fidelity =
+      cfg.fidelity != nullptr ? cfg.fidelity : ctl_probe_storage.get();
   MetricRegistry* const metrics = cfg.metrics;
   CriticalPathCollector* const cpath = cfg.critical_path;
   if (cpath != nullptr && cpath->n_ranks() != n) {
     throw std::invalid_argument(
         "TrainConfig: critical_path collector sized for a different world");
+  }
+  if (ctl_on && fidelity->n_ranks() < n) {
+    throw std::invalid_argument(
+        "TrainConfig: the controller's fidelity probe is sized for a "
+        "smaller world");
   }
 
   auto worker_fn = [&](int rank) {
@@ -198,6 +233,30 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     const bool need_schedule =
         cfg.time.overlap || trace != nullptr || cpath != nullptr;
     std::vector<int64_t> wrapped;  // slice buffer when the batch wraps
+
+    // Adaptive controller (one identical instance per rank). Initial arm
+    // routing is applied before the first iteration; afterwards switches
+    // happen only inside control_step, at decision boundaries.
+    control::Controller* ctl = nullptr;
+    std::vector<CompressionFidelityProbe::Totals> ctl_base;
+    std::vector<float> ctl_sig;
+    int ctl_boundary = 0;
+    if (ctl_on) {
+      std::vector<std::string> bucket_names;
+      bucket_names.reserve(n_buckets);
+      for (const BucketSpec& b : sched.buckets()) bucket_names.push_back(b.name);
+      controllers[static_cast<size_t>(rank)] =
+          std::make_unique<control::Controller>(ctl_cfg,
+                                                std::move(bucket_names),
+                                                cfg.seed);
+      ctl = controllers[static_cast<size_t>(rank)].get();
+      ctl_base.resize(n_buckets);
+      ctl_sig.resize(ctl->signal_size());
+      for (size_t b = 0; b < n_buckets; ++b) {
+        grace.set_compressor_override(sched.buckets()[b].name,
+                                      ctl->arm_spec(b));
+      }
+    }
 
     // Live-world view; changes once if the planned crash shrinks the world.
     int live_n = n;
@@ -247,6 +306,48 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       metrics->observe(rank, "sched.bucket_bytes",
                        static_cast<double>(numel) * 4.0);
     };
+    // One controller decision boundary. The per-bucket signal window is
+    // this rank's probe totals minus the previous boundary's baseline
+    // (totals are monotonic, so a resumed run sees the same windows as the
+    // original run's tail); the windows are then summed across live ranks
+    // with the deterministic ring allreduce — bit-identical on every rank
+    // — before the policy steps, so all controllers decide identically
+    // without any shared state. Every live rank calls this at the same
+    // schedule points.
+    auto control_step = [&](int epoch, int64_t it) {
+      for (size_t b = 0; b < n_buckets; ++b) {
+        const CompressionFidelityProbe::Totals t =
+            fidelity->totals(rank, sched.buckets()[b].name);
+        const CompressionFidelityProbe::Totals& s0 = ctl_base[b];
+        float* s = ctl_sig.data() + b * control::Controller::kSignalsPerBucket;
+        s[0] = static_cast<float>(t.samples - s0.samples);
+        s[1] = static_cast<float>(t.cosine_sum - s0.cosine_sum);
+        s[2] = static_cast<float>(t.sign_sum - s0.sign_sum);
+        s[3] = static_cast<float>(t.residual_sum - s0.residual_sum);
+        s[4] = static_cast<float>(t.grad_sum - s0.grad_sum);
+        s[5] = static_cast<float>(t.wire_bits - s0.wire_bits);
+        s[6] = static_cast<float>(t.dense_bits - s0.dense_bits);
+        ctl_base[b] = t;
+      }
+      comm::allreduce_sum(comm, std::span<float>(ctl_sig),
+                          kControlTagBase - ctl_boundary);
+      ++ctl_boundary;
+      const std::vector<control::ControlDecision> switched =
+          ctl->step(ctl_sig, epoch, it);
+      for (const control::ControlDecision& d : switched) {
+        grace.set_compressor_override(
+            d.bucket_name, ctl->arm_spec(static_cast<size_t>(d.bucket)));
+        if (ctl_cfg.residual_carry == control::ResidualCarry::Flush) {
+          grace.flush_residual(d.bucket_name);
+        }
+      }
+      if (metrics) {
+        metrics->inc(rank, "control.boundaries");
+        if (!switched.empty()) {
+          metrics->inc(rank, "control.switches", switched.size());
+        }
+      }
+    };
 
     for (int e0 = 0; e0 < cfg.epochs && !crashed_out && !halted; ++e0) {
       const int epoch = cfg.start_epoch + e0;
@@ -295,11 +396,16 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
         }
         if (fidelity) {
           // Sample every K-th iteration: attach the probe to this worker's
-          // exchanges for exactly the sampled iterations.
+          // exchanges for exactly the sampled iterations. Samples are
+          // recorded under the stable physical rank, not comm_.rank() —
+          // after a crash rebind the live rank would alias a survivor's
+          // samples into the dead rank's slot, which would skew the
+          // controller's per-rank windows.
           grace.set_probe(
               fidelity->should_sample(epoch * iters_per_epoch + it)
                   ? fidelity
-                  : nullptr);
+                  : nullptr,
+              rank);
         }
         const int64_t base = it * sched_global_batch +
                              static_cast<int64_t>(sched_rank) * cfg.batch_per_worker;
@@ -427,10 +533,23 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
         log.comm_s.push_back(stats.comm_seconds);
         log.stall_s.push_back(stall);
         log.wire_bytes.push_back(stats.wire_bytes);
+        // Intra-epoch decision boundary (never doubled with the epoch-end
+        // one); the condition depends only on shared schedule state, so
+        // every live rank takes it together.
+        if (ctl != nullptr && ctl_cfg.decide_every_iters > 0 &&
+            (it + 1) % ctl_cfg.decide_every_iters == 0 &&
+            it + 1 < iters_per_epoch) {
+          control_step(epoch, it);
+        }
         ++iters_done;
       }
       if (rank == 0 && iters_done > 0) log.epoch_iters.push_back(iters_done);
       if (crashed_out || halted) break;
+
+      // Epoch-end decision boundary — always, including the final epoch,
+      // so a run handing its snapshot to a resumed run carries the
+      // post-epoch decision (the resume contract's alignment point).
+      if (ctl != nullptr) control_step(epoch, /*it=*/-1);
 
       if (cfg.check_sync) {
         // All replicas must hold identical parameters: allreduce the sum of
@@ -764,8 +883,31 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     }
   }
 
-  // Fidelity / metrics snapshots (both merges are deterministic).
-  if (fidelity) result.fidelity = fidelity->summaries();
+  // Adaptive-controller outcome. The allreduced signals guarantee every
+  // live rank decided identically; verify that invariant by comparing the
+  // serialized controller states before reporting rank 0's (a mismatch is
+  // a determinism bug, not a user error — fail loudly).
+  if (ctl_on) {
+    const control::Controller* ref = nullptr;
+    for (int r = 0; r < n; ++r) {
+      if (logs[static_cast<size_t>(r)].crashed) continue;
+      const control::Controller* c = controllers[static_cast<size_t>(r)].get();
+      if (c == nullptr) continue;
+      if (ref == nullptr) {
+        ref = c;
+      } else if (c->snapshot() != ref->snapshot()) {
+        throw std::logic_error(
+            "adaptive controller diverged across ranks (decision sequences "
+            "are not identical)");
+      }
+    }
+    if (ref != nullptr) result.control = ref->summary();
+  }
+
+  // Fidelity / metrics snapshots (both merges are deterministic). The
+  // controller's internal probe stays internal: result.fidelity is only
+  // populated when the caller asked for a probe.
+  if (cfg.fidelity) result.fidelity = cfg.fidelity->summaries();
   if (metrics) {
     result.metric_counters = metrics->counters();
     result.metric_histograms = metrics->histograms();

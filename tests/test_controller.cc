@@ -1,0 +1,532 @@
+// Adaptive per-bucket compression controller (src/control, DESIGN.md §11):
+// policy unit tests driven with synthetic signal windows, snapshot
+// round-trips, and trainer-level determinism / resume / error-feedback
+// carry-over contracts. Also covers the satellite APIs that ride along:
+// the registry's unknown-spec error listing and the fidelity probe's
+// totals / rolling-window accessors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "control/controller.h"
+#include "core/memory.h"
+#include "core/registry.h"
+#include "sim/fidelity.h"
+#include "sim/tasks.h"
+#include "tensor/ops.h"
+
+namespace grace {
+namespace {
+
+using control::ControlConfig;
+using control::ControlDecision;
+using control::Controller;
+using control::ResidualCarry;
+
+// --- Satellite: registry error message -----------------------------------
+
+TEST(Registry, UnknownSpecListsRegisteredNamesSorted) {
+  std::string message;
+  try {
+    core::make_compressor("definitely_not_a_compressor");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    message = e.what();
+  }
+  EXPECT_NE(message.find("unknown compressor: definitely_not_a_compressor"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("registered:"), std::string::npos) << message;
+  // Every registered name is present, and the listing is sorted.
+  std::vector<std::string> names = core::registered_names();
+  for (const std::string& n : names) {
+    EXPECT_NE(message.find(n), std::string::npos) << n << " in " << message;
+  }
+  std::sort(names.begin(), names.end());
+  size_t prev = 0;
+  for (const std::string& n : names) {
+    const size_t at = message.find(n, prev);
+    ASSERT_NE(at, std::string::npos) << n;
+    prev = at;
+  }
+}
+
+// --- Satellite: fidelity probe totals + rolling window --------------------
+
+core::FidelitySample sample(const char* name, double cosine, double sign,
+                            double residual, double grad, uint64_t wire,
+                            uint64_t dense) {
+  core::FidelitySample s;
+  s.rank = 0;
+  s.tensor = name;
+  s.numel = 8;
+  s.cosine_similarity = cosine;
+  s.sign_agreement = sign;
+  s.residual_l2 = residual;
+  s.grad_l2 = grad;
+  s.wire_bits = wire;
+  s.dense_bits = dense;
+  s.compression_ratio =
+      wire > 0 ? static_cast<double>(dense) / static_cast<double>(wire) : 0.0;
+  return s;
+}
+
+TEST(FidelityProbe, TotalsAreMonotonicSums) {
+  sim::CompressionFidelityProbe probe(1);
+  probe.on_sample(sample("w", 0.9, 0.8, 1.0, 2.0, 32, 256));
+  probe.on_sample(sample("w", 0.7, 0.6, 3.0, 4.0, 64, 256));
+  const auto t = probe.totals(0, "w");
+  EXPECT_EQ(t.samples, 2);
+  EXPECT_DOUBLE_EQ(t.cosine_sum, 1.6);
+  EXPECT_DOUBLE_EQ(t.sign_sum, 1.4);
+  EXPECT_DOUBLE_EQ(t.residual_sum, 4.0);
+  EXPECT_DOUBLE_EQ(t.grad_sum, 6.0);
+  EXPECT_EQ(t.wire_bits, 96u);
+  EXPECT_EQ(t.dense_bits, 512u);
+  // Unknown tensor / never-sampled rank: zero totals, not a throw.
+  EXPECT_EQ(probe.totals(0, "nope").samples, 0);
+}
+
+TEST(FidelityProbe, RollingWindowMeansLastK) {
+  sim::CompressionFidelityProbe probe(1);
+  for (int i = 0; i < 5; ++i) {
+    probe.on_sample(sample("w", 0.1 * i, 0.2, 0.0, 1.0, 32, 256));
+  }
+  const auto last2 = probe.rolling(0, "w", 2);
+  EXPECT_EQ(last2.samples, 2);
+  EXPECT_DOUBLE_EQ(last2.cosine, (0.3 + 0.4) / 2.0);  // samples 3 and 4
+  // Window larger than history clamps to what exists.
+  const auto all = probe.rolling(0, "w", 100);
+  EXPECT_EQ(all.samples, 5);
+  EXPECT_DOUBLE_EQ(all.cosine, (0.0 + 0.1 + 0.2 + 0.3 + 0.4) / 5.0);
+  // Empty probe: identity defaults.
+  EXPECT_EQ(probe.rolling(0, "nope", 4).samples, 0);
+  EXPECT_DOUBLE_EQ(probe.rolling(0, "nope", 4).cosine, 1.0);
+}
+
+TEST(FidelityProbe, RollingWindowSurvivesRingWraparound) {
+  sim::CompressionFidelityProbe probe(1);
+  const int total = sim::CompressionFidelityProbe::kRollingCapacity + 9;
+  for (int i = 0; i < total; ++i) {
+    probe.on_sample(sample("w", i, 0.5, 0.0, 1.0, 32, 256));
+  }
+  const auto last3 = probe.rolling(0, "w", 3);
+  EXPECT_EQ(last3.samples, 3);
+  const double want =
+      (static_cast<double>(total - 1) + (total - 2) + (total - 3)) / 3.0;
+  EXPECT_DOUBLE_EQ(last3.cosine, want);
+  // Asking for more than the ring retains clamps to the ring capacity.
+  const auto capped = probe.rolling(0, "w", total);
+  EXPECT_EQ(capped.samples, sim::CompressionFidelityProbe::kRollingCapacity);
+}
+
+// --- Satellite: residual flush --------------------------------------------
+
+TEST(ResidualMemory, ClearDropsOneTensorsResidual) {
+  core::ResidualMemory mem(1.0f, 1.0f);
+  Tensor grad = Tensor::from(std::vector<float>{2, 2, 2, 2});
+  Tensor zero = Tensor::zeros({4});
+  // update(phi, Q^-1): residual = phi - decompressed = grad.
+  mem.update("w", mem.compensate(grad, "w"), zero);
+  ASSERT_NE(mem.residual("w"), nullptr);
+  mem.clear("w");
+  EXPECT_EQ(mem.residual("w"), nullptr);
+  // compensate after clear sees no residual: phi == grad.
+  Tensor phi = mem.compensate(grad, "w");
+  auto v = phi.f32();
+  for (float x : v) EXPECT_EQ(x, 2.0f);
+}
+
+// --- Policy unit tests (synthetic signal windows) -------------------------
+
+// One bucket's 7-float signal slice encoding a window with `n` samples at
+// the given mean cosine / sign agreement and residual-to-gradient ratio.
+std::vector<float> signals_1bucket(float n, float cosine, float sign,
+                                   float residual_rel) {
+  return {n,       cosine * n, sign * n, residual_rel * n,
+          1.0f * n, 32.0f * n,  256.0f * n};
+}
+
+ControlConfig hysteresis_cfg() {
+  ControlConfig cfg;
+  cfg.policy = "hysteresis";
+  cfg.arms = {"none", "topk(0.05)", "topk(0.01)"};
+  cfg.start_arm = 1;
+  cfg.cosine_floor = 0.85;
+  cfg.sign_floor = 0.70;
+  cfg.residual_ceiling = 4.0;
+  cfg.band = 0.05;
+  cfg.patience = 2;
+  return cfg;
+}
+
+TEST(HysteresisPolicy, SustainedBreachStepsOneArmLighter) {
+  Controller ctl(hysteresis_cfg(), {"bucket0"}, 42);
+  const auto bad = signals_1bucket(8, 0.5f, 0.9f, 0.1f);
+  // patience = 2: first breach waits, second switches 1 -> 0.
+  EXPECT_TRUE(ctl.step(bad, 0, -1).empty());
+  const auto switched = ctl.step(bad, 1, -1);
+  ASSERT_EQ(switched.size(), 1u);
+  EXPECT_EQ(switched[0].from_arm, 1);
+  EXPECT_EQ(switched[0].to_arm, 0);
+  EXPECT_EQ(switched[0].signal, "cosine<floor");
+  EXPECT_EQ(ctl.arm(0), 0);
+  // Already at the lightest arm: further breaches hold.
+  EXPECT_TRUE(ctl.step(bad, 2, -1).empty());
+  EXPECT_TRUE(ctl.step(bad, 3, -1).empty());
+  EXPECT_EQ(ctl.arm(0), 0);
+}
+
+TEST(HysteresisPolicy, SustainedHeadroomStepsOneArmHeavier) {
+  Controller ctl(hysteresis_cfg(), {"bucket0"}, 42);
+  const auto good = signals_1bucket(8, 0.99f, 0.99f, 0.0f);
+  EXPECT_TRUE(ctl.step(good, 0, -1).empty());
+  const auto switched = ctl.step(good, 1, -1);
+  ASSERT_EQ(switched.size(), 1u);
+  EXPECT_EQ(switched[0].to_arm, 2);
+  EXPECT_EQ(switched[0].signal, "headroom");
+  // At the heaviest arm the streak can no longer promote.
+  EXPECT_TRUE(ctl.step(good, 2, -1).empty());
+  EXPECT_TRUE(ctl.step(good, 3, -1).empty());
+  EXPECT_EQ(ctl.arm(0), 2);
+}
+
+TEST(HysteresisPolicy, InBandWindowResetsStreaksNoFlapping) {
+  Controller ctl(hysteresis_cfg(), {"bucket0"}, 42);
+  const auto bad = signals_1bucket(8, 0.5f, 0.9f, 0.1f);
+  // Inside the hysteresis band: above the floor but under floor + band.
+  const auto inband = signals_1bucket(8, 0.87f, 0.9f, 0.1f);
+  EXPECT_TRUE(ctl.step(bad, 0, -1).empty());     // breach streak 1
+  EXPECT_TRUE(ctl.step(inband, 1, -1).empty());  // resets the streak
+  EXPECT_TRUE(ctl.step(bad, 2, -1).empty());     // breach streak 1 again
+  EXPECT_EQ(ctl.arm(0), 1);                      // never switched
+  EXPECT_EQ(ctl.decisions().back().signal, "cosine<floor:wait");
+}
+
+TEST(HysteresisPolicy, EmptyWindowHoldsEverything) {
+  Controller ctl(hysteresis_cfg(), {"bucket0"}, 42);
+  const auto bad = signals_1bucket(8, 0.5f, 0.9f, 0.1f);
+  const auto idle = signals_1bucket(0, 0.0f, 0.0f, 0.0f);
+  EXPECT_TRUE(ctl.step(bad, 0, -1).empty());
+  // Idle windows neither advance nor reset the breach streak.
+  EXPECT_TRUE(ctl.step(idle, 1, -1).empty());
+  EXPECT_EQ(ctl.decisions().back().signal, "idle");
+  const auto switched = ctl.step(bad, 2, -1);
+  ASSERT_EQ(switched.size(), 1u);
+  EXPECT_EQ(switched[0].to_arm, 0);
+}
+
+TEST(HysteresisPolicy, CheapBucketPinsToLightestArm) {
+  ControlConfig cfg = hysteresis_cfg();
+  cfg.start_arm = 2;
+  cfg.cheap_bits = 1000.0;  // per-sample dense payload threshold
+  Controller ctl(cfg, {"tiny", "big"}, 42);
+  // Both buckets post comfortable windows; only "tiny" is under the
+  // cheap-bits threshold (dense 256 bits/sample vs 2560).
+  std::vector<float> sig;
+  const float n = 8.0f;
+  const auto tiny = std::vector<float>{n,        0.99f * n, 0.99f * n, 0.0f,
+                                       1.0f * n, 32.0f * n, 256.0f * n};
+  const auto big = std::vector<float>{n,        0.99f * n, 0.99f * n, 0.0f,
+                                      1.0f * n, 320.0f * n, 2560.0f * n};
+  sig.insert(sig.end(), tiny.begin(), tiny.end());
+  sig.insert(sig.end(), big.begin(), big.end());
+  const auto switched = ctl.step(sig, 0, -1);
+  ASSERT_EQ(switched.size(), 1u);
+  EXPECT_EQ(switched[0].bucket_name, "tiny");
+  EXPECT_EQ(switched[0].to_arm, 0);
+  EXPECT_EQ(switched[0].signal, "cheap");
+  // The cheap bucket never promotes, however comfortable its windows; the
+  // big bucket follows the ordinary hysteresis rules.
+  ctl.step(sig, 1, -1);
+  ctl.step(sig, 2, -1);
+  EXPECT_EQ(ctl.arm(0), 0);
+  EXPECT_EQ(ctl.decisions().back().bucket, 1);
+}
+
+TEST(FixedPolicy, NeverSwitches) {
+  ControlConfig cfg;
+  cfg.policy = "fixed";
+  cfg.arms = {"none", "topk(0.01)"};
+  cfg.start_arm = 1;
+  Controller ctl(cfg, {"a", "b"}, 42);
+  const auto bad = signals_1bucket(8, 0.0f, 0.0f, 99.0f);
+  std::vector<float> two;
+  two.insert(two.end(), bad.begin(), bad.end());
+  two.insert(two.end(), bad.begin(), bad.end());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ctl.step(two, i, -1).empty());
+  EXPECT_EQ(ctl.switches(), 0);
+  EXPECT_EQ(ctl.boundaries(), 4);
+  EXPECT_EQ(ctl.arm(0), 1);
+  EXPECT_EQ(ctl.arm(1), 1);
+}
+
+TEST(ControllerStep, RejectsWrongSignalSize) {
+  Controller ctl(hysteresis_cfg(), {"a", "b"}, 42);
+  const auto one = signals_1bucket(8, 0.9f, 0.9f, 0.1f);
+  EXPECT_THROW(ctl.step(one, 0, -1), std::invalid_argument);
+}
+
+// --- Seeded bandit ---------------------------------------------------------
+
+ControlConfig bandit_cfg() {
+  ControlConfig cfg;
+  cfg.policy = "bandit";
+  cfg.arms = {"none", "topk(0.05)", "topk(0.01)"};
+  cfg.epsilon = 1.0;  // every post-bootstrap decision is an explore draw
+  return cfg;
+}
+
+// Windows whose reward depends on the arm currently played, so bandit
+// statistics evolve with the decision sequence.
+std::vector<float> bandit_window(const Controller& ctl) {
+  const float cos = ctl.arm(0) == 0 ? 0.99f : 0.80f;
+  return signals_1bucket(8, cos, 0.9f, 0.1f);
+}
+
+TEST(SeededBandit, SameSeedReplaysBitIdentically) {
+  Controller a(bandit_cfg(), {"bucket0"}, 1234);
+  Controller b(bandit_cfg(), {"bucket0"}, 1234);
+  for (int i = 0; i < 32; ++i) {
+    a.step(bandit_window(a), i, -1);
+    b.step(bandit_window(b), i, -1);
+  }
+  EXPECT_EQ(control::control_decisions_json(a.decisions()),
+            control::control_decisions_json(b.decisions()));
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(SeededBandit, DifferentSeedsDiverge) {
+  Controller a(bandit_cfg(), {"bucket0"}, 1);
+  Controller b(bandit_cfg(), {"bucket0"}, 2);
+  for (int i = 0; i < 32; ++i) {
+    a.step(bandit_window(a), i, -1);
+    b.step(bandit_window(b), i, -1);
+  }
+  EXPECT_NE(control::control_decisions_json(a.decisions()),
+            control::control_decisions_json(b.decisions()));
+}
+
+TEST(SeededBandit, UcbDrawsNoRandomness) {
+  ControlConfig cfg = bandit_cfg();
+  cfg.ucb_c = 1.0;
+  Controller ctl(cfg, {"bucket0"}, 42);
+  for (int i = 0; i < 8; ++i) ctl.step(bandit_window(ctl), i, -1);
+  EXPECT_NE(ctl.snapshot().find(";draws=0;"), std::string::npos);
+}
+
+TEST(SeededBandit, SnapshotRoundTripsMidSequence) {
+  // Split one 24-boundary run at boundary 10: a controller restored from
+  // the snapshot (same seed) must replay the tail exactly, including the
+  // RNG position.
+  Controller full(bandit_cfg(), {"bucket0"}, 777);
+  for (int i = 0; i < 10; ++i) full.step(bandit_window(full), i, -1);
+  const std::string snap = full.snapshot();
+
+  ControlConfig resumed_cfg = bandit_cfg();
+  resumed_cfg.resume_state = snap;
+  Controller resumed(resumed_cfg, {"bucket0"}, 777);
+  EXPECT_EQ(resumed.boundaries(), 10);
+  EXPECT_EQ(resumed.arm(0), full.arm(0));
+
+  for (int i = 10; i < 24; ++i) {
+    full.step(bandit_window(full), i, -1);
+    resumed.step(bandit_window(resumed), i, -1);
+  }
+  EXPECT_EQ(resumed.snapshot(), full.snapshot());
+  // The resumed log holds only the tail; it must equal the full log's tail.
+  const auto& tail = resumed.decisions();
+  const auto& all = full.decisions();
+  ASSERT_EQ(all.size(), 24u);
+  ASSERT_EQ(tail.size(), 14u);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(control::control_decisions_json({tail[i]}),
+              control::control_decisions_json({all[10 + i]}));
+  }
+}
+
+TEST(ControllerSnapshot, RejectsCorruptOrMismatchedState) {
+  Controller ctl(hysteresis_cfg(), {"bucket0"}, 42);
+  ctl.step(signals_1bucket(8, 0.9f, 0.9f, 0.1f), 0, -1);
+  const std::string snap = ctl.snapshot();
+
+  auto resume_with = [](ControlConfig cfg, const std::string& state,
+                        std::vector<std::string> names) {
+    cfg.resume_state = state;
+    Controller c(cfg, std::move(names), 42);
+  };
+  // Bad magic.
+  EXPECT_THROW(resume_with(hysteresis_cfg(), "garbage", {"bucket0"}),
+               std::invalid_argument);
+  // Policy mismatch.
+  ControlConfig bandit = bandit_cfg();
+  EXPECT_THROW(resume_with(bandit, snap, {"bucket0"}), std::invalid_argument);
+  // Bucket-plan mismatch.
+  EXPECT_THROW(resume_with(hysteresis_cfg(), snap, {"other_bucket"}),
+               std::invalid_argument);
+  // Arm-set mismatch.
+  ControlConfig fewer = hysteresis_cfg();
+  fewer.arms = {"none", "topk(0.05)"};
+  fewer.start_arm = 0;
+  EXPECT_THROW(resume_with(fewer, snap, {"bucket0"}), std::invalid_argument);
+  // Valid state restores cleanly.
+  ControlConfig ok = hysteresis_cfg();
+  ok.resume_state = snap;
+  Controller resumed(ok, {"bucket0"}, 42);
+  EXPECT_EQ(resumed.boundaries(), 1);
+}
+
+// --- Trainer integration ---------------------------------------------------
+
+sim::Benchmark tiny_cnn() { return sim::make_cnn_classification(0.1); }
+
+sim::TrainConfig controller_config(const sim::Benchmark& b, int workers) {
+  sim::TrainConfig cfg = sim::default_config(b);
+  cfg.n_workers = workers;
+  cfg.net.n_workers = workers;
+  cfg.epochs = 2;
+  cfg.grace.compressor_spec = "topk(0.05)";
+  cfg.grace.control.policy = "hysteresis";
+  cfg.grace.control.arms = {"none", "topk(0.05)"};
+  cfg.grace.control.start_arm = 1;
+  cfg.grace.control.decide_every_iters = 2;
+  return cfg;
+}
+
+TEST(TrainerControl, SameSeedYieldsByteIdenticalDecisionLogs) {
+  sim::Benchmark b = tiny_cnn();
+  sim::TrainConfig cfg = controller_config(b, 2);
+  // Floors chosen so real top-k fidelity signals land on both sides.
+  cfg.grace.control.cosine_floor = 0.4;
+  sim::RunResult r1 = train(b.factory, cfg);
+  sim::RunResult r2 = train(b.factory, cfg);
+  EXPECT_TRUE(r1.control.enabled);
+  EXPECT_GT(r1.control.boundaries, 0);
+  EXPECT_FALSE(r1.control.decisions.empty());
+  EXPECT_EQ(control::control_decisions_json(r1.control.decisions),
+            control::control_decisions_json(r2.control.decisions));
+  EXPECT_EQ(r1.control.state, r2.control.state);
+  EXPECT_EQ(r1.parameters_crc32, r2.parameters_crc32);
+  EXPECT_TRUE(r1.replicas_in_sync);
+}
+
+TEST(TrainerControl, BanditRunsAreSeedReproducible) {
+  sim::Benchmark b = tiny_cnn();
+  sim::TrainConfig cfg = controller_config(b, 2);
+  cfg.grace.control.policy = "bandit";
+  cfg.grace.control.epsilon = 0.5;
+  sim::RunResult r1 = train(b.factory, cfg);
+  sim::RunResult r2 = train(b.factory, cfg);
+  EXPECT_EQ(control::control_decisions_json(r1.control.decisions),
+            control::control_decisions_json(r2.control.decisions));
+  EXPECT_EQ(r1.parameters_crc32, r2.parameters_crc32);
+  EXPECT_TRUE(r1.replicas_in_sync);
+}
+
+TEST(TrainerControl, FixedPolicyMatchesUncontrolledRunBitForBit) {
+  // The degenerate policy run through the whole controller machinery —
+  // probe attach, per-bucket override routing, boundary allreduces — must
+  // not perturb training at all.
+  sim::Benchmark b = tiny_cnn();
+  sim::TrainConfig plain = sim::default_config(b);
+  plain.n_workers = 2;
+  plain.net.n_workers = 2;
+  plain.epochs = 2;
+  plain.grace.compressor_spec = "topk(0.05)";
+  sim::RunResult base = train(b.factory, plain);
+
+  sim::TrainConfig ctl = plain;
+  ctl.grace.control.policy = "fixed";
+  ctl.grace.control.arms = {"topk(0.05)"};
+  sim::RunResult run = train(b.factory, ctl);
+
+  EXPECT_TRUE(run.control.enabled);
+  EXPECT_EQ(run.control.switches, 0);
+  EXPECT_EQ(run.final_parameters, base.final_parameters);
+  EXPECT_EQ(run.parameters_crc32, base.parameters_crc32);
+}
+
+TEST(TrainerControl, ResidualCarryAbsorbAndFlushBothDeterministic) {
+  // Force a switch at the very first boundary (impossible cosine floor)
+  // with error feedback on, so a residual is pending when the arm changes:
+  // Absorb keeps it, Flush drops it, and the two trajectories split.
+  sim::Benchmark b = tiny_cnn();
+  auto make = [&](ResidualCarry carry) {
+    sim::TrainConfig cfg = controller_config(b, 2);
+    cfg.grace.error_feedback = true;
+    cfg.grace.control.cosine_floor = 0.999;
+    cfg.grace.control.patience = 1;
+    cfg.grace.control.residual_carry = carry;
+    return cfg;
+  };
+  sim::RunResult absorb1 = train(b.factory, make(ResidualCarry::Absorb));
+  sim::RunResult absorb2 = train(b.factory, make(ResidualCarry::Absorb));
+  sim::RunResult flush1 = train(b.factory, make(ResidualCarry::Flush));
+  sim::RunResult flush2 = train(b.factory, make(ResidualCarry::Flush));
+  ASSERT_GT(absorb1.control.switches, 0);
+  ASSERT_GT(flush1.control.switches, 0);
+  EXPECT_EQ(absorb1.parameters_crc32, absorb2.parameters_crc32);
+  EXPECT_EQ(flush1.parameters_crc32, flush2.parameters_crc32);
+  EXPECT_NE(absorb1.parameters_crc32, flush1.parameters_crc32);
+  EXPECT_TRUE(absorb1.replicas_in_sync);
+  EXPECT_TRUE(flush1.replicas_in_sync);
+}
+
+TEST(TrainerControl, ResumeReplaysDecisionTailAndWeightsExactly) {
+  // The crash-rebind hand-off contract: a run resumed at an epoch boundary
+  // from (weights, controller state) must replay the original run's
+  // decision tail and final weights bit-for-bit. Error feedback stays off —
+  // a resumed worker starts with empty residuals, so EF state is not part
+  // of the hand-off contract (same as the resilience hand-off tests).
+  sim::Benchmark b = tiny_cnn();
+  sim::TrainConfig cfg = controller_config(b, 2);
+  cfg.grace.error_feedback = false;
+  // Stateless SGD: a momentum buffer is not part of the (weights,
+  // controller state) hand-off and would break the exact equivalence.
+  cfg.optimizer.type = optim::OptimizerType::Sgd;
+  cfg.optimizer.lr = 0.02;
+  cfg.epochs = 4;
+  cfg.grace.control.cosine_floor = 0.4;
+  sim::RunResult full = train(b.factory, cfg);
+
+  sim::TrainConfig stage_cfg = cfg;
+  stage_cfg.epochs = 2;
+  sim::RunResult stage = train(b.factory, stage_cfg);
+
+  std::vector<float> saved = stage.final_parameters;
+  sim::ReplicaFactory resumed_factory = [&b, saved](uint64_t seed) {
+    auto model = b.factory(seed);
+    size_t at = 0;
+    for (auto& p : model->module().parameters()) {
+      auto v = p.value->data.f32();
+      std::copy_n(saved.begin() + static_cast<int64_t>(at), v.size(),
+                  v.begin());
+      at += v.size();
+    }
+    return model;
+  };
+  sim::TrainConfig resume_cfg = cfg;
+  resume_cfg.epochs = 2;
+  resume_cfg.start_epoch = 2;
+  resume_cfg.grace.control.resume_state = stage.control.state;
+  sim::RunResult cont = train(resumed_factory, resume_cfg);
+
+  EXPECT_EQ(cont.parameters_crc32, full.parameters_crc32);
+  EXPECT_EQ(cont.final_parameters, full.final_parameters);
+  EXPECT_EQ(cont.control.state, full.control.state);
+
+  // Decision tail: the resumed log is exactly the full log's entries from
+  // the hand-off boundary on, labels included.
+  const int cut = stage.control.boundaries;
+  std::vector<ControlDecision> tail;
+  for (const ControlDecision& d : full.control.decisions) {
+    if (d.boundary >= cut) tail.push_back(d);
+  }
+  EXPECT_EQ(control::control_decisions_json(cont.control.decisions),
+            control::control_decisions_json(tail));
+}
+
+}  // namespace
+}  // namespace grace
