@@ -1,171 +1,236 @@
-// Resilience benchmark: training throughput and model quality as the
-// cluster degrades — message-drop rates, payload corruption, straggler
-// severity, lost rounds, and a mid-run worker crash, all driven by
-// deterministic fault plans (src/faults, docs/RESILIENCE.md). The
+// Resilience scenario matrix (docs/RESILIENCE.md): three named deployment
+// profiles — datacenter, flaky-WAN, federated-edge — each pairing a
+// FleetProfile (comm/fleet.h per-rank link/compute heterogeneity) with a
+// deterministic chaos plan (src/faults: membership churn, outage windows,
+// partial participation, drops), crossed with {none, topk(0.01)}. The
 // compression angle: a compressed exchange retransmits fewer bytes per
-// lost message, so the stall the same drop rate inflicts shrinks with the
-// wire size — resilience is where compression pays a second time.
+// lost message and ships smaller join-bootstrap traffic, so the same
+// chaos plan degrades a compressed run less — resilience is where
+// compression pays a second time.
 //
-// Prints a table and writes BENCH_resilience.json: one entry per
-// (scenario, compressor) cell with the fault spec, the run result, and the
-// resilience counters. Not built by default:
-//   cmake --build build --target bench_resilience
+//   bench_resilience                      # run matrix, write BENCH_resilience.json
+//   bench_resilience --ci <baseline.json> # diff each cell's RunReport against
+//                                         # the committed baseline, exit
+//                                         # non-zero on any regression verdict
 //
-// GRACE_SCALE=<f> (default 1.0) scales the task size for smoke runs.
-// --faults=<plan.json> appends a custom scenario to the sweep.
+// Every cell is one line of BENCH_resilience.json (a self-contained
+// RunReport document), diffed with the sim/report.cc verdict rules: exact
+// for deterministic quantities (CRCs, wire counters, fault/churn tallies),
+// tight tolerance for simulated seconds, loose for measured codec times —
+// machine-portable, but an injected slowdown still trips it:
+//   GRACE_TIME_SCALE=1000 bench_resilience --ci BENCH_resilience.baseline.json
+// must exit non-zero. Wired as the slow-tier ctest `bench_resilience_check`.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
+#include "comm/fleet.h"
+#include "sim/critical_path.h"
+#include "sim/metric_registry.h"
+#include "sim/report.h"
 #include "sim/tasks.h"
-#include "sim/trace.h"
 
 namespace {
 
+constexpr int kWorkers = 4;
+constexpr int kEpochs = 4;
+
 struct Scenario {
   const char* label;
+  grace::comm::FleetProfile fleet;
   grace::faults::FaultSpec spec;
-  bool healthy = false;  // run without any plan installed
 };
+
+// The three deployment profiles. Chaos plans are seeded and expressed in
+// absolute epochs, so every run of the matrix replays the same events.
+std::vector<Scenario> make_scenarios() {
+  using grace::comm::FleetProfile;
+  std::vector<Scenario> out;
+  {
+    // Uniform fast links; the stressor is elastic membership — rank 2
+    // leaves after epoch 0 and rejoins (bootstrapping parameters + EF
+    // residuals from rank 0) for the final epoch.
+    Scenario s;
+    s.label = "datacenter";
+    s.fleet = FleetProfile::datacenter(kWorkers);
+    s.spec.seed = 11;
+    s.spec.churn.push_back({/*epoch=*/1, /*rank=*/2, /*join=*/false});
+    s.spec.churn.push_back({/*epoch=*/3, /*rank=*/2, /*join=*/true});
+    out.push_back(std::move(s));
+  }
+  {
+    // Long-haul links with jittery members: lossy delivery plus seeded
+    // outage windows on rank 1 (sat-out rounds + a reconnect stall).
+    Scenario s;
+    s.label = "flaky-wan";
+    s.fleet = FleetProfile::flaky_wan(kWorkers, /*seed=*/3);
+    s.spec.seed = 13;
+    s.spec.drop_prob = 0.02;
+    s.spec.outage_prob = 0.10;
+    s.spec.outage_iters = 2;
+    s.spec.outage_rank = 1;
+    s.spec.outage_reconnect_stall_s = 2e-3;
+    out.push_back(std::move(s));
+  }
+  {
+    // Edge fleet: slow uplinks, heterogeneous device speeds, and clients
+    // that only check in for ~75% of rounds (absorbed into EF residuals).
+    Scenario s;
+    s.label = "federated-edge";
+    s.fleet = FleetProfile::federated_edge(kWorkers, /*seed=*/5);
+    s.spec.seed = 17;
+    s.spec.participation_rate = 0.75;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) return {};
+  std::string text;
+  char buf[4096];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return text;
+}
+
+// Pulls the baseline line for `label` out of the one-cell-per-line
+// BENCH_resilience.json; empty when absent.
+std::string baseline_line(const std::string& baseline, const std::string& label) {
+  const std::string key = "\"label\":\"" + label + "\"";
+  const size_t at = baseline.find(key);
+  if (at == std::string::npos) return {};
+  const size_t begin = baseline.rfind('\n', at);
+  size_t end = baseline.find('\n', at);
+  if (end == std::string::npos) end = baseline.size();
+  return baseline.substr(begin == std::string::npos ? 0 : begin + 1,
+                         end - (begin == std::string::npos ? 0 : begin + 1));
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace grace;
 
-  const char* plan_path = bench::fault_plan_arg(argc, argv, "bench_resilience");
-
-  double scale = 1.0;
-  if (const char* s = std::getenv("GRACE_SCALE")) scale = std::atof(s);
-
-  sim::Benchmark bench = sim::make_cnn_classification(scale * 0.2);
-
-  std::vector<Scenario> scenarios;
-  {
-    Scenario s;
-    s.label = "healthy";
-    s.healthy = true;
-    scenarios.push_back(s);
-  }
-  {
-    Scenario s;
-    s.label = "drop-2%";
-    s.spec.drop_prob = 0.02;
-    scenarios.push_back(s);
-  }
-  {
-    Scenario s;
-    s.label = "drop-10%";
-    s.spec.drop_prob = 0.10;
-    scenarios.push_back(s);
-  }
-  {
-    Scenario s;
-    s.label = "corrupt-5%";
-    s.spec.corrupt_prob = 0.05;
-    scenarios.push_back(s);
-  }
-  {
-    Scenario s;
-    s.label = "straggler-2ms";
-    s.spec.straggler_prob = 0.3;
-    s.spec.straggler_delay_s = 2e-3;
-    s.spec.straggler_rank = 1;
-    scenarios.push_back(s);
-  }
-  {
-    Scenario s;
-    s.label = "straggler-10ms";
-    s.spec.straggler_prob = 0.3;
-    s.spec.straggler_delay_s = 10e-3;
-    s.spec.straggler_rank = 1;
-    scenarios.push_back(s);
-  }
-  {
-    Scenario s;
-    s.label = "skip-10%";
-    s.spec.skip_round_prob = 0.10;
-    scenarios.push_back(s);
-  }
-  {
-    Scenario s;
-    s.label = "crash-rank2";
-    s.spec.crash_rank = 2;
-    s.spec.crash_epoch = bench.epochs / 2;
-    s.spec.crash_iter = 0;  // valid at any scale (every epoch has >= 1 iter)
-    scenarios.push_back(s);
-  }
-  if (plan_path != nullptr) {
-    Scenario s;
-    s.label = "custom";
-    s.spec = bench::load_fault_spec(plan_path);
-    scenarios.push_back(s);
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ci") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\n"
+                   "usage: bench_resilience [--ci <baseline.json>]\n",
+                   argv[i]);
+      return 2;
+    }
   }
 
+  sim::Benchmark bench = sim::make_cnn_classification(0.1);
+  const std::vector<Scenario> scenarios = make_scenarios();
   const std::vector<std::string> compressors = {"none", "topk(0.01)"};
 
-  std::printf("Resilience sweep: %s, %s — throughput/quality vs fault severity\n\n",
-              bench.model.c_str(), bench.dataset.c_str());
-  std::printf("%-15s %-12s %10s %9s %9s %9s %8s %8s %8s %7s %7s\n", "scenario",
-              "compressor", "samples/s", "loss", "quality", "stall_ms",
-              "retries", "drops", "corrupt", "skipped", "crashed");
-  bench::print_rule(112);
+  std::printf(
+      "Resilience matrix: %s, %s — fleet profile x chaos plan x compressor\n\n",
+      bench.model.c_str(), bench.dataset.c_str());
+  std::printf("%-28s %10s %9s %9s %8s %7s %7s %7s %8s\n", "cell", "samples/s",
+              "quality", "stall_ms", "sat_out", "outages", "leaves", "joins",
+              "degraded");
+  bench::print_rule(100);
+
+  std::vector<std::pair<std::string, std::string>> rows;  // label, report json
+  for (const Scenario& sc : scenarios) {
+    for (const std::string& spec : compressors) {
+      const std::string label = std::string(sc.label) + "/" + spec;
+      sim::TrainConfig cfg = sim::default_config(bench);
+      cfg.n_workers = kWorkers;
+      cfg.net.n_workers = kWorkers;
+      cfg.epochs = kEpochs;
+      cfg.grace.compressor_spec = spec;
+      cfg.fleet = sc.fleet;
+      if (const char* s = std::getenv("GRACE_TIME_SCALE")) {
+        cfg.time.compression_time_scale *= std::atof(s);
+      }
+      bench::apply_paper_overrides(spec, cfg, /*classification_task=*/true);
+
+      const faults::FaultPlan plan(sc.spec);
+      cfg.faults = &plan;
+      sim::MetricRegistry registry(cfg.n_workers);
+      sim::CriticalPathCollector collector(cfg.n_workers);
+      cfg.metrics = &registry;
+      cfg.critical_path = &collector;
+
+      const sim::RunResult run = sim::train(bench.factory, cfg);
+      const faults::FaultCounters& fc = run.faults;
+      std::printf(
+          "%-28s %10.0f %9.4f %9.3f %8llu %7llu %7llu %7llu %8llu\n",
+          label.c_str(), run.throughput, run.final_quality,
+          run.phases.stall_s * 1e3,
+          static_cast<unsigned long long>(fc.sat_out_rounds),
+          static_cast<unsigned long long>(fc.outages),
+          static_cast<unsigned long long>(fc.leaves),
+          static_cast<unsigned long long>(fc.joins),
+          static_cast<unsigned long long>(fc.degraded_iters));
+
+      const sim::RunReport report = sim::build_run_report(run, {}, &registry);
+      rows.emplace_back(label, sim::run_report_json(report));
+    }
+    bench::print_rule(100);
+  }
 
   std::FILE* out = std::fopen("BENCH_resilience.json", "w");
   if (!out) {
     std::fprintf(stderr, "cannot open BENCH_resilience.json for writing\n");
     return 1;
   }
-  std::fprintf(out, "{\"benchmark\":\"resilience\",\"scale\":%g,\"task\":\"%s\",",
-               scale, bench.task.c_str());
-  std::fprintf(out, "\"runs\":[");
-
-  bool first = true;
-  for (const Scenario& sc : scenarios) {
-    for (const std::string& spec : compressors) {
-      sim::TrainConfig cfg = sim::default_config(bench);
-      cfg.grace.compressor_spec = spec;
-      bench::apply_paper_overrides(spec, cfg, /*classification_task=*/true);
-
-      faults::FaultPlan plan;
-      if (!sc.healthy) {
-        plan = faults::FaultPlan(sc.spec);
-        cfg.faults = &plan;
-      }
-      sim::RunResult run = sim::train(bench.factory, cfg);
-
-      const faults::FaultCounters& fc = run.faults;
-      std::printf(
-          "%-15s %-12s %10.0f %9.4f %9.4f %9.3f %8llu %8llu %8llu %7llu "
-          "%7llu\n",
-          sc.label, spec.c_str(), run.throughput,
-          run.epochs.empty() ? 0.0 : run.epochs.back().train_loss,
-          run.final_quality, run.phases.stall_s * 1e3,
-          static_cast<unsigned long long>(fc.retries),
-          static_cast<unsigned long long>(fc.drops_detected),
-          static_cast<unsigned long long>(fc.corruptions_detected),
-          static_cast<unsigned long long>(fc.rounds_skipped),
-          static_cast<unsigned long long>(fc.crashed_ranks));
-
-      if (!first) std::fprintf(out, ",");
-      first = false;
-      std::fprintf(out, "{\"scenario\":\"%s\",\"fault_spec\":%s,\"result\":%s}",
-                   sc.label,
-                   sc.healthy ? "null" : faults::fault_spec_json(sc.spec).c_str(),
-                   sim::run_result_json(run).c_str());
-    }
-    bench::print_rule(112);
+  std::fprintf(out, "{\"benchmark\":\"resilience\",\"cells\":[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(out, "{\"label\":\"%s\",\"report\":%s}%s\n",
+                 rows[i].first.c_str(), rows[i].second.c_str(),
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "]}\n");
   std::fclose(out);
+  std::printf("wrote BENCH_resilience.json (%zu cells)\n", rows.size());
 
-  std::printf(
-      "\nStall grows with drop rate times retransmitted bytes — compressed\n"
-      "exchanges lose less per dropped message, so compression flattens the\n"
-      "degradation curve. A crash costs one round, then the survivors'\n"
-      "(n-1)-rank schedule carries the run to completion.\n");
-  std::printf("\nwrote BENCH_resilience.json\n");
+  if (baseline_path == nullptr) return 0;
+
+  // --ci: diff every cell against the committed baseline.
+  const std::string baseline = read_file(baseline_path);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "cannot read baseline '%s'\n", baseline_path);
+    return 1;
+  }
+  int failures = 0;
+  int matched = 0;
+  for (const auto& [label, current] : rows) {
+    const std::string base = baseline_line(baseline, label);
+    if (base.empty()) {
+      std::fprintf(stderr, "FAIL cell '%s' missing from baseline\n",
+                   label.c_str());
+      ++failures;
+      continue;
+    }
+    ++matched;
+    const sim::ReportDiff diff = sim::diff_reports(base, current);
+    std::printf("--- diff %s ---\n%s", label.c_str(),
+                sim::report_diff_text(diff).c_str());
+    if (!diff.pass) ++failures;
+  }
+  if (matched == 0) {
+    // A renamed matrix must not silently pass an empty comparison.
+    std::fprintf(stderr, "FAIL no baseline cells matched the matrix\n");
+    return 1;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_resilience --ci: %d cell(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("bench_resilience --ci: all %d cells PASS\n", matched);
   return 0;
 }

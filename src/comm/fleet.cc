@@ -1,0 +1,209 @@
+#include "comm/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace grace::comm {
+
+namespace {
+
+// Seeded draws use the same splitmix64 construction as faults::FaultPlan so
+// fleet generation is replayable from (seed, rank) alone. Kept local: comm
+// must not depend on faults.
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double unit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+uint64_t draw(uint64_t seed, uint64_t domain, uint64_t a) {
+  return mix(mix(mix(seed ^ 0x66c6ee5ull) ^ domain) ^ a);
+}
+
+constexpr uint64_t kDomainStraggler = 0xf1ee7501;
+constexpr uint64_t kDomainRack = 0xf1ee7502;
+constexpr uint64_t kDomainWan = 0xf1ee7503;
+constexpr uint64_t kDomainEdge = 0xf1ee7504;
+
+void check_scale(const char* what, double v) {
+  if (!std::isfinite(v) || v <= 0.0) {
+    throw std::invalid_argument(std::string("FleetProfile: ") + what +
+                                " must be finite and > 0, got " +
+                                std::to_string(v));
+  }
+}
+
+}  // namespace
+
+FleetProfile::FleetProfile(std::vector<LinkProfile> ranks, std::string name)
+    : ranks_(std::move(ranks)), name_(std::move(name)) {
+  uniform_ = true;
+  for (const LinkProfile& p : ranks_) {
+    check_scale("bandwidth_scale", p.bandwidth_scale);
+    check_scale("latency_scale", p.latency_scale);
+    check_scale("compute_scale", p.compute_scale);
+    if (!p.is_uniform()) uniform_ = false;
+  }
+}
+
+const LinkProfile& FleetProfile::rank(int r) const {
+  static const LinkProfile kUniform{};
+  if (r < 0 || static_cast<size_t>(r) >= ranks_.size()) return kUniform;
+  return ranks_[static_cast<size_t>(r)];
+}
+
+void FleetProfile::validate(int n_workers) const {
+  if (!ranks_.empty() && ranks_.size() < static_cast<size_t>(n_workers)) {
+    throw std::invalid_argument(
+        "FleetProfile '" + name_ + "' has " + std::to_string(ranks_.size()) +
+        " rank profiles but the world has " + std::to_string(n_workers) +
+        " workers; size the fleet to cover every rank (or leave it empty "
+        "for a uniform fleet)");
+  }
+}
+
+NetworkModel FleetProfile::bottleneck(const NetworkModel& net,
+                                      std::span<const int> alive) const {
+  if (uniform_) return net;
+  double min_bw = 1.0;
+  double max_lat = 1.0;
+  auto fold = [&](int r) {
+    const LinkProfile& p = rank(r);
+    min_bw = std::min(min_bw, p.bandwidth_scale);
+    max_lat = std::max(max_lat, p.latency_scale);
+  };
+  if (alive.empty()) {
+    for (int r = 0; r < net.n_workers; ++r) fold(r);
+  } else {
+    for (int r : alive) fold(r);
+  }
+  if (min_bw == 1.0 && max_lat == 1.0) return net;  // members are all uniform
+  NetworkModel out = net;
+  out.bandwidth_gbps = net.bandwidth_gbps * min_bw;
+  out.latency_us = net.latency_us * max_lat;
+  return out;
+}
+
+double FleetProfile::max_compute_scale(std::span<const int> alive) const {
+  if (uniform_) return 1.0;
+  double out = 1.0;
+  if (alive.empty()) {
+    for (const LinkProfile& p : ranks_) out = std::max(out, p.compute_scale);
+  } else {
+    for (int r : alive) out = std::max(out, rank(r).compute_scale);
+  }
+  return out;
+}
+
+FleetProfile FleetProfile::datacenter(int n) {
+  // Homogeneous fast racks: explicitly sized but uniform, so every consumer
+  // takes its bit-identical fast path.
+  return FleetProfile(std::vector<LinkProfile>(static_cast<size_t>(n)),
+                      "datacenter");
+}
+
+FleetProfile FleetProfile::flaky_wan(int n, uint64_t seed) {
+  // Cross-site links: every non-root rank pays 4x latency; a third of them
+  // additionally sit behind a half-bandwidth WAN hop.
+  std::vector<LinkProfile> ranks(static_cast<size_t>(n));
+  for (int r = 1; r < n; ++r) {
+    LinkProfile& p = ranks[static_cast<size_t>(r)];
+    p.latency_scale = 4.0;
+    if (unit(draw(seed, kDomainWan, static_cast<uint64_t>(r))) < 1.0 / 3.0) {
+      p.bandwidth_scale = 0.5;
+    }
+  }
+  return FleetProfile(std::move(ranks), "flaky-wan");
+}
+
+FleetProfile FleetProfile::federated_edge(int n, uint64_t seed) {
+  // Edge devices: everyone but the coordinator is compute-poor (2-5x slower)
+  // on a thin high-latency uplink.
+  std::vector<LinkProfile> ranks(static_cast<size_t>(n));
+  for (int r = 1; r < n; ++r) {
+    LinkProfile& p = ranks[static_cast<size_t>(r)];
+    p.bandwidth_scale = 0.1;
+    p.latency_scale = 10.0;
+    const double u = unit(draw(seed, kDomainEdge, static_cast<uint64_t>(r)));
+    p.compute_scale = 2.0 + 3.0 * u;
+  }
+  return FleetProfile(std::move(ranks), "federated-edge");
+}
+
+FleetProfile FleetProfile::stragglers(int n, double slow_fraction,
+                                      double compute_slowdown,
+                                      uint64_t seed) {
+  if (!(slow_fraction >= 0.0 && slow_fraction <= 1.0)) {
+    throw std::invalid_argument("FleetProfile::stragglers: slow_fraction " +
+                                std::to_string(slow_fraction) +
+                                " outside [0,1]");
+  }
+  check_scale("compute_slowdown", compute_slowdown);
+  std::vector<LinkProfile> ranks(static_cast<size_t>(n));
+  for (int r = 1; r < n; ++r) {
+    if (unit(draw(seed, kDomainStraggler, static_cast<uint64_t>(r))) <
+        slow_fraction) {
+      ranks[static_cast<size_t>(r)].compute_scale = compute_slowdown;
+    }
+  }
+  return FleetProfile(std::move(ranks), "stragglers");
+}
+
+FleetProfile FleetProfile::mixed_racks(int n, int ranks_per_rack,
+                                       double slow_rack_fraction,
+                                       double bandwidth_drop, uint64_t seed) {
+  if (ranks_per_rack < 1) {
+    throw std::invalid_argument(
+        "FleetProfile::mixed_racks: ranks_per_rack must be >= 1, got " +
+        std::to_string(ranks_per_rack));
+  }
+  if (!(slow_rack_fraction >= 0.0 && slow_rack_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "FleetProfile::mixed_racks: slow_rack_fraction " +
+        std::to_string(slow_rack_fraction) + " outside [0,1]");
+  }
+  check_scale("bandwidth_drop", bandwidth_drop);
+  std::vector<LinkProfile> ranks(static_cast<size_t>(n));
+  const int n_racks = (n + ranks_per_rack - 1) / ranks_per_rack;
+  for (int rack = 0; rack < n_racks; ++rack) {
+    // Rack 0 holds rank 0 and stays fast so the root link never degrades.
+    if (rack == 0) continue;
+    if (unit(draw(seed, kDomainRack, static_cast<uint64_t>(rack))) >=
+        slow_rack_fraction) {
+      continue;
+    }
+    const int first = rack * ranks_per_rack;
+    const int last = std::min(n, first + ranks_per_rack);
+    for (int r = first; r < last; ++r) {
+      ranks[static_cast<size_t>(r)].bandwidth_scale = 1.0 / bandwidth_drop;
+    }
+  }
+  return FleetProfile(std::move(ranks), "mixed-racks");
+}
+
+std::string FleetProfile::to_string() const {
+  if (uniform_) {
+    return ranks_.empty() ? "uniform" : name_ + "(uniform," +
+                                            std::to_string(ranks_.size()) +
+                                            " ranks)";
+  }
+  double min_bw = 1.0, max_lat = 1.0, max_cs = 1.0;
+  for (const LinkProfile& p : ranks_) {
+    min_bw = std::min(min_bw, p.bandwidth_scale);
+    max_lat = std::max(max_lat, p.latency_scale);
+    max_cs = std::max(max_cs, p.compute_scale);
+  }
+  std::ostringstream os;
+  os << name_ << "(" << ranks_.size() << " ranks, bw>=x" << min_bw
+     << ", lat<=x" << max_lat << ", compute<=x" << max_cs << ")";
+  return os.str();
+}
+
+}  // namespace grace::comm

@@ -87,8 +87,22 @@ void GraceWorker::rebind(comm::Comm comm, const comm::NetworkModel& net) {
   net_ = net;
   // The shrunk world may invalidate the old parameters (e.g. ps_shards ==
   // old n); clamp the shard count rather than failing a crash hand-off.
+  // ranks_per_rack gets the same treatment: a world smaller than one rack
+  // must collapse to a single rack, or the hierarchical collectives would
+  // address leaders that no longer exist.
   topology_.ps_shards = std::min(topology_.ps_shards, net.n_workers);
+  topology_.ranks_per_rack = std::min(topology_.ranks_per_rack, net.n_workers);
   topo_ = comm::make_topology(topology_, net);
+}
+
+Tensor GraceWorker::residual_snapshot(const std::string& name,
+                                      const Tensor& like) const {
+  const Tensor* r = memory_->residual(name);
+  return r != nullptr ? *r : Tensor::zeros_like(like);
+}
+
+void GraceWorker::install_residual(const std::string& name, const Tensor& r) {
+  memory_->install(name, r);
 }
 
 void GraceWorker::absorb(const Tensor& grad, const std::string& name) {
@@ -106,6 +120,18 @@ Tensor GraceWorker::exchange(const Tensor& grad, const std::string& name,
 
 ExchangeHandle GraceWorker::submit(const Tensor& grad, const std::string& name,
                                    bool instrument) {
+  return submit_impl(grad, name, instrument, /*use_memory=*/true);
+}
+
+ExchangeHandle GraceWorker::submit_raw(const Tensor& grad,
+                                       const std::string& name,
+                                       bool instrument) {
+  return submit_impl(grad, name, instrument, /*use_memory=*/false);
+}
+
+ExchangeHandle GraceWorker::submit_impl(const Tensor& grad,
+                                        const std::string& name,
+                                        bool instrument, bool use_memory) {
   ExchangeHandle h;
   h.instrumented = instrument;
   h.tag = next_tag_++;
@@ -113,9 +139,10 @@ ExchangeHandle GraceWorker::submit(const Tensor& grad, const std::string& name,
   Compressor& q = *h.compressor;
   ExchangeStats* const sp = instrument ? &h.stats : nullptr;
 
-  // Lines 5-6: g~ = Q(phi(m, g)); m = psi(...).
+  // Lines 5-6: g~ = Q(phi(m, g)); m = psi(...). submit_raw skips both
+  // memory touches: the payload is Q(g) and the residual stays untouched.
   const double t0 = sp ? now_seconds() : 0.0;
-  Tensor compensated = memory_->compensate(grad, name);
+  Tensor compensated = use_memory ? memory_->compensate(grad, name) : grad;
   h.payload = q.compress(compensated, name, rng_);
   // Lossless wire stage, inside the timed region: the coding cost lands in
   // compress_seconds and the coded size in wire_bytes, so the scheduler's
@@ -124,7 +151,7 @@ ExchangeHandle GraceWorker::submit(const Tensor& grad, const std::string& name,
     apply_wire_codec(h.payload, wire_codec_);
   }
   Tensor reconstruction;  // Q^-1(Q(phi)); only materialized when needed
-  if (memory_->enabled()) {
+  if (use_memory && memory_->enabled()) {
     reconstruction = q.decompress(h.payload);
     memory_->update(name, compensated, reconstruction);
   }

@@ -109,6 +109,14 @@ class GraceWorker {
   ExchangeHandle submit(const Tensor& grad, const std::string& name,
                         bool instrument = false);
 
+  // submit() bypassing the error-feedback memory entirely: phi is skipped
+  // and no residual is written. The partial-participation path uses this to
+  // ship an all-zero payload while the real gradient sits in the residual
+  // (sim/scheduler.h submit_bucket_zero) — a normal submit of zeros would
+  // leak beta*m onto the wire and corrupt the residual.
+  ExchangeHandle submit_raw(const Tensor& grad, const std::string& name,
+                            bool instrument = false);
+
   // Stages 2-3: run the collective for a submitted payload and decompress
   // the aggregate. Touches no compressor/EF state (decompress and Agg are
   // const). Folds the handle's accumulated stats into `stats` when set.
@@ -123,9 +131,24 @@ class GraceWorker {
   void absorb(const Tensor& grad, const std::string& name);
   void rebind(comm::Comm comm, const comm::NetworkModel& net);
 
+  // Membership-epoch support (core/membership.h). reset_tags() restarts the
+  // per-exchange tag sequence; every member of a view calls it at the
+  // epoch boundary so a rank parked for a few epochs (whose next_tag_ froze)
+  // agrees with the survivors on PS shard routing when it rejoins. Safe at
+  // boundaries only: no exchange is in flight, and the out-of-band tag
+  // spaces (check_sync, controller, bootstrap) are all negative.
+  void reset_tags() { next_tag_ = 1; }
+  // Join-bootstrap state transfer: a copy of the EF residual held for
+  // `name` (zeros shaped like `like` when none / EF off), and the inverse
+  // install on the joiner.
+  Tensor residual_snapshot(const std::string& name, const Tensor& like) const;
+  void install_residual(const std::string& name, const Tensor& r);
+
   // The topology cost/volume model this worker prices exchanges with
   // (rebuilt by rebind when the world shrinks).
   const comm::TopologyModel& topology() const { return *topo_; }
+  // The (possibly rebind-clamped) topology parameters behind it.
+  const comm::TopologyConfig& topology_config() const { return topology_; }
 
   Compressor& compressor() { return *q_; }
   bool error_feedback_enabled() const { return memory_->enabled(); }
@@ -162,6 +185,8 @@ class GraceWorker {
   }
 
  private:
+  ExchangeHandle submit_impl(const Tensor& grad, const std::string& name,
+                             bool instrument, bool use_memory);
   // `stats` may be null: the exchange still runs, only accounting is
   // skipped. `q` is the compressor the payload was produced with (carried
   // on the handle), not necessarily the base compressor.

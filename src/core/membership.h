@@ -1,0 +1,73 @@
+// Membership epochs (docs/RESILIENCE.md): the elastic-world generalization
+// of the PR-4 crash hand-off. A MembershipSchedule turns a FaultSpec's
+// churn events into an ordered sequence of world views — each view is the
+// set of physical ranks alive for a span of epochs, and transitions happen
+// only at epoch boundaries. Views can shrink (leaves) AND grow (joins);
+// rank 0 is pinned alive in every view. Because events carry ABSOLUTE
+// epochs, a `start_epoch` resume under the same spec replays exactly the
+// tail of the schedule, which is what makes staged elastic runs bit-equal
+// to uninterrupted ones.
+//
+// Joiners bootstrap their model parameters (and error-feedback residuals)
+// from the surviving rank 0 via a CRC-sealed frame on the existing
+// serialize/deserialize path (core/compressed.h): seal_bootstrap_frame on
+// the survivor, one point-to-point send, open_bootstrap_frame on the
+// joiner. Residuals travel positionally in fusion-bucket order — both
+// sides iterate the same bucket plan, so names need not be encoded.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "tensor/tensor.h"
+
+namespace grace::core {
+
+struct MembershipView {
+  int epoch_begin = 0;     // first absolute epoch this view governs
+  std::vector<int> ranks;  // physical ranks, ascending; always contains 0
+
+  int size() const { return static_cast<int>(ranks.size()); }
+  bool contains(int physical) const { return live_rank(physical) >= 0; }
+  // Contiguous live rank of a physical rank in this view, or -1 if absent.
+  int live_rank(int physical) const;
+};
+
+class MembershipSchedule {
+ public:
+  MembershipSchedule() = default;  // single static view of size 0
+  // Full fleet {0..n_ranks-1} at epoch 0; events applied in epoch order.
+  // Throws std::invalid_argument on inconsistent plans: epoch < 1, rank
+  // outside [1, n_ranks), leave of an absent rank, join of a present rank,
+  // or a view that would drop to zero members.
+  MembershipSchedule(int n_ranks, std::span<const faults::ChurnEvent> events);
+
+  int n_ranks() const { return n_; }
+  bool elastic() const { return views_.size() > 1; }
+  const std::vector<MembershipView>& views() const { return views_; }
+  // The view governing absolute epoch `epoch` (the last view whose
+  // epoch_begin <= epoch) and its index in views().
+  const MembershipView& view_at(int epoch) const;
+  int segment_at(int epoch) const;
+
+ private:
+  int n_ = 0;
+  std::vector<MembershipView> views_;
+};
+
+// Join-bootstrap frames: flattened parameters plus the sender's EF
+// residuals (in bucket order), sealed with the CRC-32 trailer of
+// core/compressed.h serialize(). open_bootstrap_frame verifies the CRC and
+// throws std::runtime_error on corruption, so a joiner can never install a
+// damaged model.
+Tensor seal_bootstrap_frame(std::span<const float> params,
+                            std::span<const Tensor> residuals);
+
+struct BootstrapState {
+  std::vector<float> params;
+  std::vector<Tensor> residuals;  // same order they were sealed in
+};
+BootstrapState open_bootstrap_frame(const Tensor& blob);
+
+}  // namespace grace::core

@@ -23,6 +23,13 @@ class Memory {
   // Drop any residual held for `name` (the controller's Flush carry-over
   // policy when a bucket's compressor is switched). Default: nothing held.
   virtual void clear(const std::string& /*name*/) {}
+  // Join-bootstrap support (core/membership.h): the residual held for
+  // `name` (null when none / memory off), and the inverse — overwrite it
+  // with state shipped from a surviving rank.
+  virtual const Tensor* residual(const std::string& /*name*/) const {
+    return nullptr;
+  }
+  virtual void install(const std::string& /*name*/, const Tensor& /*r*/) {}
   virtual bool enabled() const = 0;
 };
 
@@ -47,8 +54,12 @@ class ResidualMemory final : public Memory {
 
   float beta() const { return beta_; }
   float gamma() const { return gamma_; }
-  // Residual for a tensor (zeros if never updated); exposed for tests.
-  const Tensor* residual(const std::string& name) const;
+  // Residual for a tensor (zeros if never updated); exposed for tests and
+  // the join-bootstrap path.
+  const Tensor* residual(const std::string& name) const override;
+  void install(const std::string& name, const Tensor& r) override {
+    residuals_[name] = r;
+  }
 
  private:
   float beta_, gamma_;

@@ -23,6 +23,13 @@ struct FaultCounters {
   uint64_t crashed_ranks = 0;
   uint64_t degraded_iters = 0;     // iterations run with a shrunk world
 
+  // Elastic membership + partial participation (docs/RESILIENCE.md).
+  uint64_t leaves = 0;             // churn leave events applied
+  uint64_t joins = 0;              // churn join events applied (bootstraps)
+  uint64_t sat_out_rounds = 0;     // (rank, round) lottery/outage sit-outs
+  uint64_t outages = 0;            // connectivity windows entered
+  double outage_stall_s = 0.0;     // reconnect stalls charged
+
   FaultCounters& operator+=(const FaultCounters& o) {
     attempts_staged += o.attempts_staged;
     drops_detected += o.drops_detected;
@@ -35,6 +42,11 @@ struct FaultCounters {
     rounds_skipped += o.rounds_skipped;
     crashed_ranks += o.crashed_ranks;
     degraded_iters += o.degraded_iters;
+    leaves += o.leaves;
+    joins += o.joins;
+    sat_out_rounds += o.sat_out_rounds;
+    outages += o.outages;
+    outage_stall_s += o.outage_stall_s;
     return *this;
   }
 };

@@ -1,5 +1,6 @@
 #include "faults/fault_plan.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <iomanip>
@@ -32,6 +33,8 @@ enum : uint64_t {
   kKindCorruptBit = 0xcb,
   kKindStraggler = 0x57,
   kKindSkipRound = 0x5c,
+  kKindParticipate = 0x9a,
+  kKindOutage = 0x0a,
 };
 
 uint64_t link_id(int src, int dst) {
@@ -73,6 +76,44 @@ FaultPlan::FaultPlan(const FaultSpec& spec) : spec_(spec) {
   if (spec.has_crash() && (spec.crash_epoch < 0 || spec.crash_iter < 0)) {
     throw std::invalid_argument(
         "FaultSpec: crash_epoch and crash_iter must be non-negative");
+  }
+  if (!(spec.participation_rate > 0.0 && spec.participation_rate <= 1.0)) {
+    throw std::invalid_argument(
+        "FaultSpec: participation_rate must be in (0, 1] — at 0 no round "
+        "could ever complete");
+  }
+  check_prob(spec.outage_prob, "outage_prob");
+  if (spec.outage_iters < 1) {
+    throw std::invalid_argument("FaultSpec: outage_iters must be >= 1");
+  }
+  if (spec.outage_reconnect_stall_s < 0.0) {
+    throw std::invalid_argument(
+        "FaultSpec: outage_reconnect_stall_s must be non-negative");
+  }
+  if (spec.outage_rank == 0) {
+    throw std::invalid_argument(
+        "FaultSpec: outage_rank 0 is not supported — rank 0 must stay "
+        "connected");
+  }
+  if (spec.has_crash() && spec.has_churn()) {
+    throw std::invalid_argument(
+        "FaultSpec: crash_rank and churn events are mutually exclusive — "
+        "model the crash as a churn leave event instead");
+  }
+  for (const ChurnEvent& e : spec.churn) {
+    if (e.epoch < 1) {
+      throw std::invalid_argument(
+          "FaultSpec: churn events must fire at epoch >= 1 (the fleet "
+          "starts epoch 0 at full strength)");
+    }
+    if (e.rank == 0) {
+      throw std::invalid_argument(
+          "FaultSpec: rank 0 never churns — it owns evaluation, run "
+          "bookkeeping and join bootstrap");
+    }
+    if (e.rank < 0) {
+      throw std::invalid_argument("FaultSpec: churn rank must be >= 0");
+    }
   }
 }
 
@@ -119,6 +160,36 @@ bool FaultPlan::round_skipped(int epoch, int64_t iter) const {
   return unit(h) < spec_.skip_round_prob;
 }
 
+bool FaultPlan::in_outage(int rank, int epoch, int64_t iter) const {
+  if (spec_.outage_prob <= 0.0 || rank == 0) return false;
+  if (spec_.outage_rank >= 0 && rank != spec_.outage_rank) return false;
+  // A window opened at round j covers [j, j + outage_iters). Windows never
+  // cross an epoch boundary, so only draws within this epoch matter.
+  const int64_t first = std::max<int64_t>(0, iter - spec_.outage_iters + 1);
+  for (int64_t j = first; j <= iter; ++j) {
+    const uint64_t h = hash(kKindOutage, static_cast<uint64_t>(rank),
+                            static_cast<uint64_t>(epoch),
+                            static_cast<uint64_t>(j));
+    if (unit(h) < spec_.outage_prob) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::outage_reconnect(int rank, int epoch, int64_t iter) const {
+  if (iter < 1) return false;  // epoch starts freshly connected
+  return !in_outage(rank, epoch, iter) && in_outage(rank, epoch, iter - 1);
+}
+
+bool FaultPlan::participates(int rank, int epoch, int64_t iter) const {
+  if (rank == 0) return true;
+  if (in_outage(rank, epoch, iter)) return false;
+  if (spec_.participation_rate >= 1.0) return true;
+  const uint64_t h = hash(kKindParticipate, static_cast<uint64_t>(rank),
+                          static_cast<uint64_t>(epoch),
+                          static_cast<uint64_t>(iter));
+  return unit(h) < spec_.participation_rate;
+}
+
 std::string fault_spec_json(const FaultSpec& s) {
   std::ostringstream os;
   os << std::setprecision(std::numeric_limits<double>::max_digits10);
@@ -132,7 +203,19 @@ std::string fault_spec_json(const FaultSpec& s) {
      << ",\"skip_round_prob\":" << s.skip_round_prob
      << ",\"crash_rank\":" << s.crash_rank
      << ",\"crash_epoch\":" << s.crash_epoch
-     << ",\"crash_iter\":" << s.crash_iter << "}";
+     << ",\"crash_iter\":" << s.crash_iter
+     << ",\"participation_rate\":" << s.participation_rate
+     << ",\"outage_prob\":" << s.outage_prob
+     << ",\"outage_iters\":" << s.outage_iters
+     << ",\"outage_reconnect_stall_s\":" << s.outage_reconnect_stall_s
+     << ",\"outage_rank\":" << s.outage_rank << ",\"churn\":[";
+  for (size_t i = 0; i < s.churn.size(); ++i) {
+    const ChurnEvent& e = s.churn[i];
+    if (i > 0) os << ",";
+    os << "{\"epoch\":" << e.epoch << ",\"rank\":" << e.rank
+       << ",\"join\":" << (e.join ? 1 : 0) << "}";
+  }
+  os << "]}";
   return os.str();
 }
 
@@ -158,8 +241,12 @@ class FlatJsonParser {
         skip_ws();
         expect(':');
         skip_ws();
-        const double value = parse_number();
-        assign(spec, key, value);
+        if (key == "churn") {
+          parse_churn(spec);
+        } else {
+          const double value = parse_number();
+          assign(spec, key, value);
+        }
         skip_ws();
         const char c = next();
         if (c == '}') break;
@@ -207,6 +294,47 @@ class FlatJsonParser {
     at_ += static_cast<size_t>(end - begin);
     return v;
   }
+  // The one non-flat value: "churn":[{"epoch":e,"rank":r,"join":0|1},...].
+  void parse_churn(FaultSpec& spec) {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++at_;
+      return;
+    }
+    for (;;) {
+      ChurnEvent e;
+      expect('{');
+      skip_ws();
+      for (;;) {
+        const std::string key = parse_key();
+        skip_ws();
+        expect(':');
+        skip_ws();
+        const double v = parse_number();
+        if (key == "epoch") {
+          e.epoch = static_cast<int>(v);
+        } else if (key == "rank") {
+          e.rank = static_cast<int>(v);
+        } else if (key == "join") {
+          e.join = v != 0.0;
+        } else {
+          fail("unknown churn key \"" + key + "\"");
+        }
+        skip_ws();
+        const char c = next();
+        if (c == '}') break;
+        if (c != ',') fail("expected ',' or '}' in churn event");
+        skip_ws();
+      }
+      spec.churn.push_back(e);
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in churn array");
+      skip_ws();
+    }
+  }
   void assign(FaultSpec& s, const std::string& key, double v) {
     if (key == "seed") {
       s.seed = static_cast<uint64_t>(v);
@@ -232,6 +360,16 @@ class FlatJsonParser {
       s.crash_epoch = static_cast<int>(v);
     } else if (key == "crash_iter") {
       s.crash_iter = static_cast<int64_t>(v);
+    } else if (key == "participation_rate") {
+      s.participation_rate = v;
+    } else if (key == "outage_prob") {
+      s.outage_prob = v;
+    } else if (key == "outage_iters") {
+      s.outage_iters = static_cast<int64_t>(v);
+    } else if (key == "outage_reconnect_stall_s") {
+      s.outage_reconnect_stall_s = v;
+    } else if (key == "outage_rank") {
+      s.outage_rank = static_cast<int>(v);
     } else {
       fail("unknown key \"" + key + "\"");
     }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace grace::faults {
 
@@ -20,6 +21,18 @@ inline constexpr uint8_t kAttemptCorrupt = 2;  // arrived bit-flipped, NACK
 enum class CrashPolicy {
   Continue,  // survivors shrink to an (n-1)-rank world and keep training
   Halt,      // the whole run stops at the crash boundary
+};
+
+// One membership transition: `rank` leaves (join == false) or rejoins
+// (join == true) the fleet at the start of absolute epoch `epoch`. Epochs
+// are absolute so a start_epoch resume replays the tail of the same plan.
+// Rank 0 never churns; consistency (no double-leave, join only of an absent
+// rank) is enforced by core::MembershipSchedule, which turns the event list
+// into ordered world views.
+struct ChurnEvent {
+  int epoch = 0;
+  int rank = -1;
+  bool join = false;
 };
 
 struct FaultSpec {
@@ -49,7 +62,33 @@ struct FaultSpec {
   int crash_epoch = 0;
   int64_t crash_iter = 0;
 
+  // Elastic membership: planned leave/join events at epoch boundaries.
+  // Mutually exclusive with the one-shot crash above (a churn leave event
+  // subsumes it). See core/membership.h for the schedule semantics.
+  std::vector<ChurnEvent> churn;
+
+  // Partial participation: each round, every non-root rank independently
+  // draws whether it contributes its gradient this round (FedAvg-style
+  // client sampling). Non-participants absorb their gradient into the EF
+  // residual, ship a zero payload to keep the collectives in lockstep, and
+  // still apply the aggregate (model-broadcast catch-up), so replicas stay
+  // bit-identical. 1.0 disables the lottery.
+  double participation_rate = 1.0;
+
+  // Intermittent connectivity: a rank that draws an outage sits out
+  // `outage_iters` consecutive rounds (windows never cross an epoch
+  // boundary) and pays a reconnect stall when it comes back. Outages imply
+  // non-participation for the window. -1: any non-root rank can drop out.
+  double outage_prob = 0.0;
+  int64_t outage_iters = 2;
+  double outage_reconnect_stall_s = 0.0;
+  int outage_rank = -1;
+
   bool has_crash() const { return crash_rank >= 0; }
+  bool has_churn() const { return !churn.empty(); }
+  bool has_partial_participation() const {
+    return participation_rate < 1.0 || outage_prob > 0.0;
+  }
 };
 
 // Flat-JSON round-trip: {"seed":1,"drop_prob":0.1,...}. Unknown keys and
@@ -79,6 +118,19 @@ class FaultPlan {
   double straggler_delay(int rank, int epoch, int64_t iter) const;
   // True when the exchange round of (epoch, iter) is lost for all ranks.
   bool round_skipped(int epoch, int64_t iter) const;
+
+  // True while (rank, epoch, iter) sits inside a connectivity-outage
+  // window: some draw in the trailing `outage_iters` rounds of this epoch
+  // opened one. Rank 0 never drops out.
+  bool in_outage(int rank, int epoch, int64_t iter) const;
+  // True when this round is the first after an outage window closed — the
+  // reconnect boundary where outage_reconnect_stall_s is charged.
+  bool outage_reconnect(int rank, int epoch, int64_t iter) const;
+  // Participant selection for (rank, epoch, iter): rank 0 always
+  // participates; ranks in an outage window never do; otherwise a seeded
+  // per-round lottery at participation_rate decides. Deterministic in the
+  // coordinates alone, so every rank computes the same roster.
+  bool participates(int rank, int epoch, int64_t iter) const;
 
   bool has_crash() const { return spec_.has_crash(); }
   // True exactly at the crash boundary (the crashing rank exits before

@@ -61,6 +61,10 @@ constexpr Rule kRules[] = {
     {"fault.degraded_iters", RuleKind::Exact, 0.0},
     {"fault.crashed_ranks", RuleKind::Exact, 0.0},
     {"fault.straggler_events", RuleKind::Exact, 0.0},
+    {"fault.leaves", RuleKind::Exact, 0.0},
+    {"fault.joins", RuleKind::Exact, 0.0},
+    {"fault.sat_out_rounds", RuleKind::Exact, 0.0},
+    {"fault.outages", RuleKind::Exact, 0.0},
     {"critical_path.iterations", RuleKind::Exact, 0.0},
     {"control.boundaries", RuleKind::Exact, 0.0},
     {"control.switches", RuleKind::Exact, 0.0},
@@ -71,6 +75,7 @@ constexpr Rule kRules[] = {
     {"optimizer_seconds", RuleKind::Rel, 1e-6},
     {"stall_seconds", RuleKind::Rel, 1e-6},
     {"fault.straggler_stall_seconds", RuleKind::Rel, 1e-6},
+    {"fault.outage_stall_seconds", RuleKind::Rel, 1e-6},
     {"final_quality", RuleKind::Abs, 1e-6},
     {"best_quality", RuleKind::Abs, 1e-6},
     {"fidelity.min_cosine", RuleKind::Abs, 1e-6},
@@ -268,6 +273,11 @@ RunReport build_run_report(const RunResult& result, const ReportOptions& opts,
   add_metric(rep, "fault.crashed_ranks", static_cast<double>(result.faults.crashed_ranks));
   add_metric(rep, "fault.straggler_events", static_cast<double>(result.faults.straggler_events));
   add_metric(rep, "fault.straggler_stall_seconds", result.faults.straggler_stall_s);
+  add_metric(rep, "fault.leaves", static_cast<double>(result.faults.leaves));
+  add_metric(rep, "fault.joins", static_cast<double>(result.faults.joins));
+  add_metric(rep, "fault.sat_out_rounds", static_cast<double>(result.faults.sat_out_rounds));
+  add_metric(rep, "fault.outages", static_cast<double>(result.faults.outages));
+  add_metric(rep, "fault.outage_stall_seconds", result.faults.outage_stall_s);
 
   // Fidelity floors over the probed tensors (deterministic: the simulated
   // training arithmetic does not depend on measured codec time).

@@ -165,4 +165,17 @@ void ExchangeScheduler::absorb_all(core::GraceWorker& w) {
   }
 }
 
+core::ExchangeHandle ExchangeScheduler::submit_bucket_zero(
+    core::GraceWorker& w, size_t b, bool instrument) {
+  const BucketSpec& spec = plan_.at(b);
+  const Tensor& real = pack(b);
+  w.absorb(real, spec.name);
+  // submit_raw: a normal submit would compensate the zeros with beta*m —
+  // shipping the residual we just deposited — and then wipe the residual.
+  core::ExchangeHandle h =
+      w.submit_raw(Tensor::zeros_like(real), spec.name, instrument);
+  h.stats.bucket = spec.id;
+  return h;
+}
+
 }  // namespace grace::sim

@@ -130,6 +130,13 @@ class ExchangeScheduler {
   // bucket granularity a healthy round would have used.
   void absorb_all(core::GraceWorker& w);
 
+  // Partial participation (docs/RESILIENCE.md): this rank sits the round
+  // out. Absorb bucket b's real gradient into the error-feedback residual,
+  // then submit an all-zero payload in its place via submit_raw, keeping
+  // the collective in lockstep while contributing nothing to the aggregate.
+  core::ExchangeHandle submit_bucket_zero(core::GraceWorker& w, size_t b,
+                                          bool instrument);
+
  private:
   const Tensor& pack(size_t b);
 

@@ -29,6 +29,15 @@ ScaleResult simulate_scale(const ReplicaFactory& factory,
   const int n = cfg.n_workers;
   comm::NetworkModel net = cfg.net;
   net.n_workers = n;
+  // Heterogeneous fleets (comm/fleet.h): collectives run at the bottleneck
+  // member link, compute and codec seconds stretch by the slowest member's
+  // compute multiplier. Uniform fleets hand `net` back unchanged and scale
+  // by exactly 1.0, so every figure stays bit-identical — and the wire
+  // VOLUME closed forms below never see the fleet at all, which is what
+  // keeps the transport counters pinned to the thread-backed World.
+  cfg.fleet.validate(n);
+  net = cfg.fleet.bottleneck(net);
+  const double worst_compute = cfg.fleet.max_compute_scale();
   net.validate();
   cfg.grace.topology.validate(n);
   const auto topo = comm::make_topology(cfg.grace.topology, net);
@@ -39,6 +48,8 @@ ScaleResult simulate_scale(const ReplicaFactory& factory,
   r.epochs = cfg.epochs;
   r.topology = cfg.grace.topology.to_string();
   r.compressor = cfg.grace.compressor_spec;
+  r.fleet = cfg.fleet.name();
+  r.fleet_max_compute_scale = worst_compute;
 
   // The probe rank: one real replica and one real GraceWorker on a 1-rank
   // world. Everything below only calls submit() (and the compressor
@@ -76,9 +87,12 @@ ScaleResult simulate_scale(const ReplicaFactory& factory,
   const bool allreduce_mode =
       grace.compressor().comm_mode() == core::CommMode::Allreduce;
 
-  // Simulated device times, identical to the trainer's.
+  // Simulated device times, identical to the trainer's. The iteration is
+  // priced at the slowest member of the fleet (the rank every collective
+  // waits for); the straggler's multiplier stretches compute and codec.
   r.compute_s =
-      cfg.time.compute_seconds(model->flops_per_sample(), cfg.batch_per_worker);
+      cfg.time.compute_seconds(model->flops_per_sample(), cfg.batch_per_worker) *
+      worst_compute;
   r.optimizer_s =
       cfg.time.optimizer_seconds(model->module().num_parameters());
   const double backward_share =
@@ -131,9 +145,10 @@ ScaleResult simulate_scale(const ReplicaFactory& factory,
 
     BucketTiming& t = timings[b];
     t.ready_s = forward_s + backward_s * sched.ready_fraction(b);
-    t.compress_s = h.stats.compress_seconds * scale + fixed_per_tensor;
+    t.compress_s =
+        (h.stats.compress_seconds * scale + fixed_per_tensor) * worst_compute;
     t.comm_s = comm_s;
-    t.decompress_s = decompress_s * scale;
+    t.decompress_s = decompress_s * scale * worst_compute;
     compress_sum += t.compress_s;
     comm_sum += t.comm_s;
     decompress_sum += t.decompress_s;
@@ -183,6 +198,8 @@ std::string scale_result_json(const ScaleResult& r) {
   os << "\"model\":\"" << r.model << '"';
   os << ",\"compressor\":\"" << r.compressor << '"';
   os << ",\"topology\":\"" << r.topology << '"';
+  os << ",\"fleet\":\"" << r.fleet << '"';
+  os << ",\"fleet_max_compute_scale\":" << r.fleet_max_compute_scale;
   os << ",\"n_workers\":" << r.n_workers;
   os << ",\"epochs\":" << r.epochs;
   os << ",\"iters_per_epoch\":" << r.iters_per_epoch;

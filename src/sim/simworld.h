@@ -38,6 +38,12 @@ struct ScaleResult {
   std::string model;
   std::string compressor;
   std::string topology;  // comm::TopologyConfig::to_string()
+  // Fleet heterogeneity summary (comm/fleet.h): the profile's name and the
+  // slowest member's compute multiplier the iteration was priced at.
+  // "uniform" / 1.0 for the default fleet — which also leaves every other
+  // field bit-identical to the pre-fleet figures.
+  std::string fleet = "uniform";
+  double fleet_max_compute_scale = 1.0;
   int n_workers = 0;
   int epochs = 0;
   int64_t iters_per_epoch = 0;

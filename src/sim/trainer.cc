@@ -4,11 +4,13 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
 #include "comm/collectives.h"
 #include "control/controller.h"
+#include "core/membership.h"
 #include "core/registry.h"
 #include "faults/injector.h"
 #include "runtime/thread_pool.h"
@@ -42,6 +44,15 @@ struct WorkerLog {
   uint64_t degraded_iters = 0;
   uint64_t straggler_events = 0;
   double straggler_stall_s = 0.0;
+  // Elastic membership / partial participation (this rank's own tallies).
+  uint64_t sat_out_rounds = 0;  // rounds sat out (lottery loss or outage)
+  uint64_t outages = 0;         // connectivity windows entered
+  double outage_stall_s = 0.0;  // reconnect stalls charged
+  // Per-iteration membership flag, aligned with the vectors above: 0 rows
+  // are placeholders pushed while this rank was parked out of the fleet
+  // (churn runs only — without churn every row is 1). Post-processing
+  // skips inactive rows when taking cross-rank maxima.
+  std::vector<uint8_t> active;
   bool crashed = false;  // this rank was the plan's casualty
 };
 
@@ -60,16 +71,67 @@ std::vector<int64_t> epoch_order(int64_t n, uint64_t seed, int epoch) {
 // kControlTagBase - i without colliding with either.
 constexpr int kControlTagBase = -1000000;
 
+// Tag space for join-bootstrap frames (core/membership.h): one per
+// membership boundary, keyed by the absolute epoch, far below the
+// controller's band (boundary counts never approach 1e6).
+constexpr int kBootstrapTagBase = -2000000;
+
 }  // namespace
+
+void TrainConfig::validate() const {
+  if (n_workers < 1) {
+    throw std::invalid_argument("TrainConfig: n_workers must be >= 1");
+  }
+  if (batch_per_worker < 1) {
+    throw std::invalid_argument("TrainConfig: batch_per_worker must be >= 1");
+  }
+  if (epochs < 1) {
+    throw std::invalid_argument("TrainConfig: epochs must be >= 1");
+  }
+  if (start_epoch < 0) {
+    throw std::invalid_argument(
+        "TrainConfig: start_epoch must be >= 0 (it is an absolute epoch "
+        "offset into the run's schedule)");
+  }
+  fleet.validate(n_workers);
+  net.validate();
+  // Topology parameters are checked against both world sizes in play — the
+  // thread world (n_workers) and the cost model's fleet (net.n_workers) —
+  // since the PS shard ranks must exist in both.
+  grace.topology.validate(std::min(n_workers, net.n_workers));
+  if (faults != nullptr && faults->spec().has_churn()) {
+    if (grace.control.enabled()) {
+      throw std::invalid_argument(
+          "TrainConfig: the adaptive controller cannot run under a churn "
+          "plan — parked ranks would miss its signal allreduces and the "
+          "decision sequences would diverge");
+    }
+    // Consistency of the events themselves (leave of an absent rank, join
+    // of a present one, rank 0 churning, ranks outside the fleet) — fail
+    // here, on the caller's thread, not inside a worker.
+    core::MembershipSchedule(
+        n_workers,
+        std::span<const faults::ChurnEvent>(faults->spec().churn));
+  }
+  if (faults == nullptr || !faults->spec().has_churn()) {
+    if (!grace.control.resume_state.empty() && start_epoch == 0) {
+      // Resume state with start_epoch 0 is a schedule mismatch: the
+      // controller would replay decisions against the wrong boundaries.
+      throw std::invalid_argument(
+          "TrainConfig: control.resume_state requires start_epoch > 0 — a "
+          "fresh run cannot resume a decision log");
+    }
+  }
+}
 
 RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   const int n = cfg.n_workers;
   // Fail fast, on this thread: a throw from a worker thread would
-  // std::terminate. Topology parameters are checked against both world
-  // sizes in play — the thread world (n) and the cost model's fleet
-  // (net.n_workers) — since the PS shard ranks must exist in both.
-  cfg.net.validate();
-  cfg.grace.topology.validate(std::min(n, cfg.net.n_workers));
+  // std::terminate.
+  cfg.validate();
+  // All collectives run at the pace of the slowest member link; with the
+  // default uniform fleet this IS cfg.net, bit-identically.
+  const comm::NetworkModel base_net = cfg.fleet.bottleneck(cfg.net);
   comm::World world(n);
   std::vector<WorkerLog> logs(static_cast<size_t>(n));
   std::vector<models::EvalResult> evals;   // written by rank 0 only
@@ -136,7 +198,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
             "count");
       }
     }
-    injector = std::make_unique<faults::FaultInjector>(plan, cfg.net, n);
+    injector = std::make_unique<faults::FaultInjector>(plan, base_net, n);
     world.install_faults(injector.get());
     if (crash_fires && cfg.crash_policy == faults::CrashPolicy::Continue) {
       // The shrunk world gets its own injector: survivor live-ranks would
@@ -144,12 +206,45 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       // (live rank crash_rank is a *different thread* than physical rank
       // crash_rank), racing on stall accumulators around the hand-off.
       // Fresh per-link sequence counters are equally deterministic.
-      comm::NetworkModel shrunk_net = cfg.net;
+      comm::NetworkModel shrunk_net = base_net;
       shrunk_net.n_workers = n - 1;
       shrunk_injector =
           std::make_unique<faults::FaultInjector>(plan, shrunk_net, n - 1);
       shrunk = std::make_unique<comm::World>(n - 1);
       shrunk->install_faults(shrunk_injector.get());
+    }
+  }
+
+  // Membership-epoch setup (core/membership.h): turn the plan's churn
+  // events into ordered world views and pre-build one thread world (plus
+  // injector) per shrunken view. Views at full strength reuse the base
+  // world — all n physical ranks are members, so comm ranks line up.
+  // Everything is built on this thread; workers only ever rebind onto
+  // pre-existing endpoints at epoch boundaries.
+  const bool churn_on = plan != nullptr && plan->spec().has_churn();
+  std::optional<core::MembershipSchedule> membership;
+  std::vector<std::unique_ptr<comm::World>> view_worlds;
+  std::vector<std::unique_ptr<faults::FaultInjector>> view_injectors;
+  std::vector<comm::NetworkModel> view_nets;
+  if (churn_on) {
+    membership.emplace(n, std::span<const faults::ChurnEvent>(
+                              plan->spec().churn));
+    const auto& views = membership->views();
+    view_worlds.resize(views.size());
+    view_injectors.resize(views.size());
+    view_nets.reserve(views.size());
+    for (size_t v = 0; v < views.size(); ++v) {
+      const core::MembershipView& view = views[v];
+      comm::NetworkModel vnet = cfg.fleet.bottleneck(
+          cfg.net, std::span<const int>(view.ranks));
+      vnet.n_workers = view.size();
+      view_nets.push_back(vnet);
+      if (view.size() < n) {
+        view_worlds[v] = std::make_unique<comm::World>(view.size());
+        view_injectors[v] =
+            std::make_unique<faults::FaultInjector>(plan, vnet, view.size());
+        view_worlds[v]->install_faults(view_injectors[v].get());
+      }
     }
   }
 
@@ -207,7 +302,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   auto worker_fn = [&](int rank) {
     auto model = factory(cfg.seed);  // same init seed on every worker
     core::GraceWorker grace(cfg.grace, world.comm(rank),
-                            cfg.net, cfg.seed * 7919ULL + static_cast<uint64_t>(rank));
+                            base_net, cfg.seed * 7919ULL + static_cast<uint64_t>(rank));
     auto optimizer = optim::make_optimizer(cfg.optimizer);
     Rng batch_rng(cfg.seed * 104729ULL + static_cast<uint64_t>(rank));
     WorkerLog& log = logs[static_cast<size_t>(rank)];
@@ -223,6 +318,14 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
         compressing ? cfg.time.compression_fixed_per_tensor : 0.0;
     const double fixed_overhead =
         fixed_per_tensor * static_cast<double>(n_buckets);
+    // Per-rank simulated device speed (comm/fleet.h): compute AND codec
+    // seconds stretch by this rank's compute_scale. Scaling by exactly 1.0
+    // is bitwise identity, so a uniform fleet reproduces the legacy numbers
+    // to the last bit.
+    const double compute_scale = cfg.fleet.compute_scale(rank);
+    const double my_compute_s = result.compute_s * compute_scale;
+    const double my_forward_s = forward_iter_s * compute_scale;
+    const double my_backward_s = backward_iter_s * compute_scale;
     std::vector<core::ExchangeHandle> handles;  // per-iter, reused
     handles.reserve(n_buckets);
     std::vector<core::ExchangeStats> bucket_stats(n_buckets);
@@ -258,13 +361,17 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       }
     }
 
-    // Live-world view; changes once if the planned crash shrinks the world.
+    // Live-world view; changes once if the planned crash shrinks the world,
+    // or at any epoch boundary of a churn plan's membership schedule.
     int live_n = n;
     int live_rank = rank;
     int64_t live_global_batch = global_batch;
     faults::FaultInjector* live_injector = injector.get();
     bool crashed_out = false;  // this worker is the plan's casualty
     bool halted = false;       // CrashPolicy::Halt fired
+    bool member = true;        // in the current membership view (churn runs)
+    const bool pp_on =
+        plan != nullptr && plan->spec().has_partial_participation();
 
     auto record = [&](int epoch, int64_t it, Phase phase, int32_t tensor,
                       double seconds, uint64_t bytes, double start = -1.0) {
@@ -351,9 +458,115 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
 
     for (int e0 = 0; e0 < cfg.epochs && !crashed_out && !halted; ++e0) {
       const int epoch = cfg.start_epoch + e0;
+      // The lr schedule runs on EVERY rank, parked ones included: a parked
+      // rank's optimizer must track the members' decays so its state is
+      // current the epoch it rejoins.
       if (cfg.lr_decay_every > 0 && epoch > 0 && epoch % cfg.lr_decay_every == 0) {
         optimizer->set_lr(optimizer->lr() * cfg.lr_decay_factor);
       }
+
+      // Membership transition (churn runs): every member rank rebinds onto
+      // this epoch's view at the boundary — world endpoint, bottleneck net
+      // over the members, contiguous live renumbering — and restarts the
+      // exchange tag sequence so ranks whose tag counters froze while
+      // parked agree with survivors on PS shard routing. Joiners then
+      // bootstrap parameters (+ EF residuals) from live rank 0 over the
+      // CRC-sealed frame path before the first iteration.
+      const core::MembershipView* view = nullptr;
+      if (churn_on) {
+        const int seg = membership->segment_at(epoch);
+        view = &membership->views()[static_cast<size_t>(seg)];
+        const bool was_member = member;
+        member = view->contains(rank);
+        if (member) {
+          live_n = view->size();
+          live_rank = view->live_rank(rank);
+          live_global_batch =
+              static_cast<int64_t>(live_n) * cfg.batch_per_worker;
+          comm::World* const vw = view_worlds[static_cast<size_t>(seg)]
+                                      ? view_worlds[static_cast<size_t>(seg)].get()
+                                      : &world;
+          live_injector = view_injectors[static_cast<size_t>(seg)]
+                              ? view_injectors[static_cast<size_t>(seg)].get()
+                              : injector.get();
+          comm = vw->comm(live_rank);
+          grace.rebind(comm, view_nets[static_cast<size_t>(seg)]);
+          grace.reset_tags();
+          if (e0 > 0) {
+            const int btag = kBootstrapTagBase - epoch;
+            if (!was_member) {
+              // Joiner: install rank 0's parameters (and EF residuals, in
+              // bucket order). deserialize verifies the frame's CRC.
+              const core::BootstrapState st =
+                  core::open_bootstrap_frame(comm.recv(0, btag));
+              size_t at = 0;
+              for (auto& p : model->module().parameters()) {
+                auto v = p.value->data.f32();
+                std::copy_n(st.params.begin() + static_cast<int64_t>(at),
+                            v.size(), v.begin());
+                at += v.size();
+              }
+              for (size_t b = 0; b < st.residuals.size() && b < n_buckets;
+                   ++b) {
+                grace.install_residual(sched.buckets()[b].name,
+                                       st.residuals[b]);
+              }
+            } else if (live_rank == 0) {
+              const core::MembershipView& prev =
+                  membership->view_at(epoch - 1);
+              Tensor frame;  // sealed once, sent to every joiner
+              for (int r : view->ranks) {
+                if (prev.contains(r)) continue;
+                if (frame.empty()) {
+                  std::vector<float> params;
+                  params.reserve(static_cast<size_t>(
+                      model->module().num_parameters()));
+                  for (auto& p : model->module().parameters()) {
+                    auto v = p.value->data.f32();
+                    params.insert(params.end(), v.begin(), v.end());
+                  }
+                  std::vector<Tensor> residuals;
+                  if (grace.error_feedback_enabled()) {
+                    residuals.reserve(n_buckets);
+                    for (size_t b = 0; b < n_buckets; ++b) {
+                      residuals.push_back(grace.residual_snapshot(
+                          sched.buckets()[b].name,
+                          Tensor::zeros(Shape{{sched.buckets()[b].numel}})));
+                    }
+                  }
+                  frame = core::seal_bootstrap_frame(
+                      std::span<const float>(params),
+                      std::span<const Tensor>(residuals));
+                }
+                comm.send(view->live_rank(r), frame, btag);
+              }
+            }
+          }
+        }
+      }
+
+      // Parked out of the fleet this epoch: push one zero row per member
+      // iteration so every rank's log stays index-aligned (post-processing
+      // skips inactive rows), keep the critical-path collector aligned,
+      // and sit out the exchanges, check_sync and eval entirely.
+      if (churn_on && !member) {
+        const int64_t view_batch =
+            static_cast<int64_t>(view->size()) * cfg.batch_per_worker;
+        const int64_t parked_iters = std::max<int64_t>(1, train_n / view_batch);
+        for (int64_t it = 0; it < parked_iters; ++it) {
+          log.active.push_back(0);
+          log.losses.push_back(0.0f);
+          log.compress_s.push_back(0.0);
+          log.decompress_s.push_back(0.0);
+          log.comm_s.push_back(0.0);
+          log.stall_s.push_back(0.0);
+          log.wire_bytes.push_back(0);
+          if (cfg.time.overlap) log.pipe_s.push_back(0.0);
+          if (cpath) cpath->record(rank, {});
+        }
+        continue;
+      }
+
       const auto order = epoch_order(train_n, cfg.seed, epoch);
       // The data partition is fixed at epoch start. A mid-epoch crash keeps
       // these positions — survivors finish the epoch on the old schedule
@@ -390,7 +603,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
               static_cast<int64_t>(live_n) * cfg.batch_per_worker;
           live_injector = shrunk_injector.get();
           comm = shrunk->comm(live_rank);
-          comm::NetworkModel live_net = cfg.net;
+          comm::NetworkModel live_net = base_net;
           live_net.n_workers = live_n;
           grace.rebind(comm, live_net);
         }
@@ -427,11 +640,18 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
         model->module().zero_grad();
         const float loss = model->forward_backward(slice, batch_rng);
         if (trace) {
-          record(epoch, it, Phase::Forward, -1, forward_iter_s, 0);
-          record(epoch, it, Phase::Backward, -1, backward_iter_s, 0);
+          record(epoch, it, Phase::Forward, -1, my_forward_s, 0);
+          record(epoch, it, Phase::Backward, -1, my_backward_s, 0);
         }
 
         const bool skip_round = plan != nullptr && plan->round_skipped(epoch, it);
+        // Partial participation: a sat-out rank folds its gradients into the
+        // error-feedback residual and ships an all-zero payload, so the
+        // collective stays in lockstep and replicas remain bit-identical
+        // (everyone still applies the same aggregate). Rank 0 always
+        // participates; an outage window forces non-participation.
+        const bool participate =
+            !pp_on || plan->participates(rank, epoch, it);
         core::ExchangeStats stats;
         if (skip_round) {
           // Degraded round: the exchange is lost on every rank. Fold the
@@ -441,7 +661,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
           // remain identical because everyone skips the same rounds).
           sched.absorb_all(grace);
           // No exchange happened, so the pipeline ends with compute.
-          if (cfg.time.overlap) log.pipe_s.push_back(result.compute_s);
+          if (cfg.time.overlap) log.pipe_s.push_back(my_compute_s);
           if (cpath) cpath->record(rank, {});  // skipped round: no buckets
           if (rank == 0) ++log.rounds_skipped;
         } else {
@@ -449,8 +669,12 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
           // compressor/EF state mutation and RNG draws, in pack order —
           // identical to the legacy exchange order), then wait for each in
           // submission order and scatter its aggregate into the optimizer.
+          if (!participate) ++log.sat_out_rounds;
           for (size_t b = 0; b < n_buckets; ++b) {
-            handles.push_back(sched.submit_bucket(grace, b, /*instrument=*/true));
+            handles.push_back(
+                participate
+                    ? sched.submit_bucket(grace, b, /*instrument=*/true)
+                    : sched.submit_bucket_zero(grace, b, /*instrument=*/true));
           }
           for (size_t b = 0; b < n_buckets; ++b) {
             bucket_stats[b] = core::ExchangeStats{};  // wait() accumulates
@@ -475,17 +699,19 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
             for (size_t b = 0; b < n_buckets; ++b) {
               const core::ExchangeStats& s = bucket_stats[b];
               timings[b].ready_s =
-                  forward_iter_s + backward_iter_s * sched.ready_fraction(b);
+                  my_forward_s + my_backward_s * sched.ready_fraction(b);
               timings[b].compress_s =
-                  s.compress_seconds * cfg.time.compression_time_scale +
-                  fixed_per_tensor;
+                  (s.compress_seconds * cfg.time.compression_time_scale +
+                   fixed_per_tensor) *
+                  compute_scale;
               timings[b].comm_s = s.comm_seconds;
               timings[b].decompress_s =
-                  s.decompress_seconds * cfg.time.compression_time_scale;
+                  s.decompress_seconds * cfg.time.compression_time_scale *
+                  compute_scale;
             }
             if (cpath) cpath->record(rank, timings);
             const BucketSchedule bs =
-                schedule_buckets(timings, result.compute_s, cfg.time.overlap);
+                schedule_buckets(timings, my_compute_s, cfg.time.overlap);
             if (trace) {
               for (size_t b = 0; b < n_buckets; ++b) {
                 record_exchange(epoch, it, sched.buckets()[b].id,
@@ -494,7 +720,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
             }
             if (cfg.time.overlap) {
               const double pipe_end =
-                  std::max(result.compute_s, bs.exchange_end);
+                  std::max(my_compute_s, bs.exchange_end);
               log.pipe_s.push_back(pipe_end);
               if (metrics) {
                 metrics->observe(rank, "sched.overlap_saved_ns",
@@ -516,6 +742,21 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
             log.straggler_stall_s += delay;
             stall += delay;
           }
+          if (pp_on && plan->spec().outage_prob > 0.0) {
+            // Count each outage window once (on entry) and charge the
+            // reconnect stall the first iteration after it ends.
+            if (plan->in_outage(rank, epoch, it) &&
+                (it == 0 || !plan->in_outage(rank, epoch, it - 1))) {
+              ++log.outages;
+            }
+            if (plan->outage_reconnect(rank, epoch, it)) {
+              const double rs = plan->spec().outage_reconnect_stall_s;
+              if (rs > 0.0) {
+                log.outage_stall_s += rs;
+                stall += rs;
+              }
+            }
+          }
           stall += live_injector->drain_stall(live_rank);
           if (stall > 0.0) {
             if (trace) record(epoch, it, Phase::Fault, -1, stall, 0);
@@ -524,12 +765,15 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
           if (rank == 0 && live_n < n) ++log.degraded_iters;
         }
 
+        log.active.push_back(1);
         log.losses.push_back(loss);
         log.compress_s.push_back(
-            stats.compress_seconds * cfg.time.compression_time_scale +
-            fixed_overhead);
-        log.decompress_s.push_back(
-            stats.decompress_seconds * cfg.time.compression_time_scale);
+            (stats.compress_seconds * cfg.time.compression_time_scale +
+             fixed_overhead) *
+            compute_scale);
+        log.decompress_s.push_back(stats.decompress_seconds *
+                                   cfg.time.compression_time_scale *
+                                   compute_scale);
         log.comm_s.push_back(stats.comm_seconds);
         log.stall_s.push_back(stall);
         log.wire_bytes.push_back(stats.wire_bytes);
@@ -630,16 +874,30 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
          cp_optimizer_sum = 0.0, cp_stall_sum = 0.0, cp_iter_sum = 0.0;
   std::array<double, kScenarios.size()> whatif_sum{};
   std::vector<std::span<const BucketTiming>> rank_spans;
+  // Per-rank simulated compute: the shared probe figure scaled by the
+  // rank's fleet compute profile. A uniform fleet multiplies by 1.0, so the
+  // max below reproduces result.compute_s bitwise.
+  std::vector<double> rank_compute(logs.size());
+  for (size_t r = 0; r < logs.size(); ++r) {
+    rank_compute[r] =
+        result.compute_s * cfg.fleet.compute_scale(static_cast<int>(r));
+  }
   for (int64_t it = 0; it < total_iters; ++it) {
     // The slowest worker this iteration sets the compression overhead; use
     // that worker's compress/decompress split so the phase columns sum to
-    // exactly the charged overhead.
+    // exactly the charged overhead. Parked ranks (membership churn) carry
+    // zero placeholder rows flagged inactive — they never bind anything.
     double max_overhead = 0.0, max_compress = 0.0, max_decompress = 0.0;
-    double max_stall = 0.0, max_pipe = 0.0;
+    double max_stall = 0.0, max_pipe = 0.0, max_compute = 0.0;
     int pipe_rank = -1;  // which rank's pipeline bound (overlap runs)
     for (size_t r = 0; r < logs.size(); ++r) {
       const WorkerLog& log = logs[r];
       if (static_cast<size_t>(it) >= log.losses.size()) continue;  // rank died
+      if (static_cast<size_t>(it) < log.active.size() &&
+          log.active[static_cast<size_t>(it)] == 0) {
+        continue;  // parked this epoch: zero placeholder row
+      }
+      max_compute = std::max(max_compute, rank_compute[r]);
       const double c = log.compress_s[static_cast<size_t>(it)];
       const double d = log.decompress_s[static_cast<size_t>(it)];
       if (c + d >= max_overhead) {
@@ -660,7 +918,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     }
     const double comm = logs[0].comm_s[static_cast<size_t>(it)];
     const double additive =
-        result.compute_s + max_overhead + comm + optimizer_s + max_stall;
+        max_compute + max_overhead + comm + optimizer_s + max_stall;
     double iter = additive;
     if (cfg.time.overlap) {
       iter = max_pipe + optimizer_s + max_stall;
@@ -678,7 +936,7 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       // attribute the iteration; the re-derived iteration_s is bitwise
       // equal to `iter` (same schedule inputs, same summation order).
       IterationCosts costs;
-      costs.compute_s = result.compute_s;
+      costs.compute_s = max_compute;
       costs.codec_s = max_overhead;
       costs.comm_s = comm;
       costs.optimizer_s = optimizer_s;
@@ -689,6 +947,10 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       rank_spans.clear();
       for (size_t r = 0; r < logs.size(); ++r) {
         if (static_cast<size_t>(it) >= logs[r].losses.size()) continue;
+        if (static_cast<size_t>(it) < logs[r].active.size() &&
+            logs[r].active[static_cast<size_t>(it)] == 0) {
+          continue;
+        }
         rank_spans.push_back(cpath->timings(static_cast<int>(r), it));
       }
       IterationAttribution a = attribute_iteration(costs, cfg.time.overlap);
@@ -802,9 +1064,15 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
     for (bool ok : log.sync_ok) result.replicas_in_sync = result.replicas_in_sync && ok;
   }
 
-  // Physical transport counters across all ranks and collectives.
+  // Physical transport counters across all ranks and collectives. Shrunk
+  // membership views run on their own Worlds, so fold those in too.
   result.comm_messages = world.messages_sent();
   result.comm_payload_bytes = world.payload_bytes_sent();
+  for (const auto& vw : view_worlds) {
+    if (!vw) continue;
+    result.comm_messages += vw->messages_sent();
+    result.comm_payload_bytes += vw->payload_bytes_sent();
+  }
 
   // Resilience accounting: fold the injector's link-layer totals with the
   // trainer-level tallies, and mirror everything into the metric registry
@@ -813,13 +1081,33 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
   if (plan != nullptr) {
     result.faults = injector->totals();
     if (shrunk_injector) result.faults += shrunk_injector->totals();
+    for (const auto& vi : view_injectors) {
+      if (vi) result.faults += vi->totals();
+    }
     for (const auto& log : logs) {
       result.faults.straggler_events += log.straggler_events;
       result.faults.straggler_stall_s += log.straggler_stall_s;
+      result.faults.sat_out_rounds += log.sat_out_rounds;
+      result.faults.outages += log.outages;
+      result.faults.outage_stall_s += log.outage_stall_s;
       if (log.crashed) ++result.faults.crashed_ranks;
     }
     result.faults.rounds_skipped = logs[0].rounds_skipped;
     result.faults.degraded_iters = logs[0].degraded_iters;
+    // Membership churn: count the leave/join events that actually fired
+    // inside this run's absolute epoch window. Events at epoch E take
+    // effect at E's boundary, so E == start_epoch transitions happened
+    // before this run's first iteration only when resuming mid-schedule.
+    for (const faults::ChurnEvent& ev : plan->spec().churn) {
+      if (ev.epoch > cfg.start_epoch &&
+          ev.epoch < cfg.start_epoch + cfg.epochs) {
+        if (ev.join) {
+          ++result.faults.joins;
+        } else {
+          ++result.faults.leaves;
+        }
+      }
+    }
     if (metrics) {
       for (int r = 0; r < n; ++r) {
         faults::FaultCounters c = injector->rank_counters(r);
@@ -847,6 +1135,18 @@ RunResult train(const ReplicaFactory& factory, const TrainConfig& cfg) {
       }
       if (result.faults.crashed_ranks) {
         metrics->inc(0, "fault.crashed_ranks", result.faults.crashed_ranks);
+      }
+      if (result.faults.leaves) {
+        metrics->inc(0, "fault.leaves", result.faults.leaves);
+      }
+      if (result.faults.joins) {
+        metrics->inc(0, "fault.joins", result.faults.joins);
+      }
+      if (result.faults.sat_out_rounds) {
+        metrics->inc(0, "fault.sat_out_rounds", result.faults.sat_out_rounds);
+      }
+      if (result.faults.outages) {
+        metrics->inc(0, "fault.outages", result.faults.outages);
       }
     }
   }

@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 
+#include "comm/fleet.h"
 #include "comm/network_model.h"
 #include "core/grace_world.h"
 #include "faults/fault_plan.h"
@@ -32,6 +33,13 @@ struct TrainConfig {
   optim::OptimizerConfig optimizer;
   core::GraceConfig grace;
   comm::NetworkModel net;
+  // Per-rank link/compute heterogeneity (comm/fleet.h). The default (empty)
+  // profile is a uniform fleet and leaves every number bit-identical to the
+  // pre-fleet trainer. Non-uniform fleets price collectives at the
+  // bottleneck member link and scale each rank's simulated compute and
+  // measured codec seconds by its compute_scale; wire volumes and the
+  // training math itself are never affected.
+  comm::FleetProfile fleet;
   TimeModel time;
   uint64_t seed = 42;
   // Verify all replicas hold bit-identical parameters at every epoch end
@@ -93,11 +101,25 @@ struct TrainConfig {
   // run at the crash boundary. Ignored without a crash in the plan.
   faults::CrashPolicy crash_policy = faults::CrashPolicy::Continue;
   // Epoch numbering offset: epoch e of this run uses the shuffle order,
-  // lr-decay boundaries and fault schedule of epoch start_epoch + e, so a
-  // run resumed from saved weights replays the tail of a longer run
-  // exactly (the crash hand-off equivalence tests rely on this). Callers
-  // are responsible for seeding the optimizer lr to its resumed value.
+  // lr-decay boundaries, fault schedule and membership view of epoch
+  // start_epoch + e, so a run resumed from saved weights replays the tail
+  // of a longer run exactly (the crash and elastic-membership hand-off
+  // equivalence tests rely on this). Note start_epoch is an ABSOLUTE
+  // schedule offset while `epochs` is the count to run from there, so
+  // start_epoch >= epochs is a legitimate resume of a long schedule's
+  // tail, not an error. Callers are responsible for seeding the optimizer
+  // lr to its resumed value.
   int start_epoch = 0;
+
+  // Structural validation, run by train() before any thread starts; throws
+  // std::invalid_argument with a pointed message on: non-positive
+  // n_workers / batch_per_worker / epochs, start_epoch < 0, a FleetProfile
+  // smaller than the world, invalid net/topology parameters, a churn plan
+  // combined with the adaptive controller (parked ranks would miss its
+  // signal allreduces), or a controller resume_state combined with churn.
+  // Churn plans themselves are checked by core::MembershipSchedule (leave
+  // of an absent rank, join of a present one, rank 0 churning).
+  void validate() const;
 };
 
 // Runs the full training loop; every worker sees the same `factory` and

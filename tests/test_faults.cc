@@ -135,6 +135,34 @@ TEST(FaultSpecJson, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.crash_iter, s.crash_iter);
 }
 
+TEST(FaultSpecJson, ChurnAndParticipationRoundTrip) {
+  faults::FaultSpec s;
+  s.participation_rate = 0.75;
+  s.outage_prob = 0.125;
+  s.outage_iters = 3;
+  s.outage_reconnect_stall_s = 2.5e-3;
+  s.outage_rank = 2;
+  s.churn.push_back({/*epoch=*/1, /*rank=*/2, /*join=*/false});
+  s.churn.push_back({/*epoch=*/3, /*rank=*/2, /*join=*/true});
+
+  faults::FaultSpec back = faults::parse_fault_spec_json(fault_spec_json(s));
+  EXPECT_EQ(back.participation_rate, s.participation_rate);
+  EXPECT_EQ(back.outage_prob, s.outage_prob);
+  EXPECT_EQ(back.outage_iters, s.outage_iters);
+  EXPECT_EQ(back.outage_reconnect_stall_s, s.outage_reconnect_stall_s);
+  EXPECT_EQ(back.outage_rank, s.outage_rank);
+  ASSERT_EQ(back.churn.size(), 2u);
+  EXPECT_EQ(back.churn[0].epoch, 1);
+  EXPECT_EQ(back.churn[0].rank, 2);
+  EXPECT_FALSE(back.churn[0].join);
+  EXPECT_EQ(back.churn[1].epoch, 3);
+  EXPECT_TRUE(back.churn[1].join);
+
+  // A churn-carrying spec round-trips through a plan too.
+  EXPECT_TRUE(faults::FaultPlan(back).spec().has_churn());
+  EXPECT_TRUE(s.has_partial_participation());
+}
+
 TEST(FaultSpecJson, AbsentKeysKeepDefaults) {
   faults::FaultSpec s = faults::parse_fault_spec_json("{\"drop_prob\": 0.5}");
   EXPECT_EQ(s.drop_prob, 0.5);
@@ -177,6 +205,75 @@ TEST(FaultPlan, ValidationRejectsBadSpecs) {
   s = {};
   s.straggler_delay_s = -1.0;
   EXPECT_THROW(faults::FaultPlan{s}, std::invalid_argument);
+  s = {};
+  s.participation_rate = 0.0;  // nobody would ever participate
+  EXPECT_THROW(faults::FaultPlan{s}, std::invalid_argument);
+  s = {};
+  s.participation_rate = 1.5;
+  EXPECT_THROW(faults::FaultPlan{s}, std::invalid_argument);
+  s = {};
+  s.outage_prob = 0.1;
+  s.outage_iters = 0;
+  EXPECT_THROW(faults::FaultPlan{s}, std::invalid_argument);
+  s = {};
+  s.outage_rank = 0;  // rank 0 owns bookkeeping, must stay connected
+  EXPECT_THROW(faults::FaultPlan{s}, std::invalid_argument);
+  s = {};
+  s.churn.push_back({/*epoch=*/0, /*rank=*/1, /*join=*/false});
+  EXPECT_THROW(faults::FaultPlan{s}, std::invalid_argument);
+  s = {};
+  s.churn.push_back({/*epoch=*/1, /*rank=*/0, /*join=*/false});
+  EXPECT_THROW(faults::FaultPlan{s}, std::invalid_argument);
+  s = {};
+  s.crash_rank = 2;  // crash and churn model the same thing: pick one
+  s.churn.push_back({/*epoch=*/1, /*rank=*/1, /*join=*/false});
+  EXPECT_THROW(faults::FaultPlan{s}, std::invalid_argument);
+}
+
+TEST(FaultPlan, ParticipationAndOutageDecisionsAreDeterministic) {
+  faults::FaultSpec s;
+  s.seed = 99;
+  s.participation_rate = 0.5;
+  s.outage_prob = 0.25;
+  s.outage_iters = 2;
+  s.outage_rank = 2;
+  const faults::FaultPlan a(s), b(s);
+
+  int sat_out = 0, outage_iters_seen = 0;
+  for (int rank = 0; rank < 4; ++rank) {
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      for (int64_t it = 0; it < 20; ++it) {
+        EXPECT_EQ(a.participates(rank, epoch, it),
+                  b.participates(rank, epoch, it));
+        EXPECT_EQ(a.in_outage(rank, epoch, it), b.in_outage(rank, epoch, it));
+        // Rank 0 always participates and never drops out.
+        if (rank == 0) {
+          EXPECT_TRUE(a.participates(rank, epoch, it));
+          EXPECT_FALSE(a.in_outage(rank, epoch, it));
+        }
+        // An outage window forces non-participation.
+        if (a.in_outage(rank, epoch, it)) {
+          ++outage_iters_seen;
+          EXPECT_FALSE(a.participates(rank, epoch, it));
+        }
+        // Reconnect fires exactly on the first post-outage iteration.
+        if (a.outage_reconnect(rank, epoch, it)) {
+          EXPECT_TRUE(a.in_outage(rank, epoch, it - 1));
+          EXPECT_FALSE(a.in_outage(rank, epoch, it));
+        }
+        if (!a.participates(rank, epoch, it)) ++sat_out;
+      }
+    }
+  }
+  EXPECT_GT(sat_out, 0);
+  EXPECT_GT(outage_iters_seen, 0);
+  // Only the pinned outage rank ever sees a window.
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int64_t it = 0; it < 20; ++it) {
+      EXPECT_FALSE(a.in_outage(1, epoch, it));
+      EXPECT_FALSE(a.in_outage(3, epoch, it));
+    }
+  }
 }
 
 TEST(FaultPlan, DecisionsAreDeterministic) {

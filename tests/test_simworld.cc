@@ -78,6 +78,42 @@ TEST(SimWorld, RaggedHierarchyStaysExact) {
   EXPECT_EQ(sim.comm_payload_bytes, real.comm_payload_bytes);
 }
 
+TEST(SimWorld, MixedFleetKeepsTransportTotalsExact) {
+  // Heterogeneous 5-rank fleet over the ragged two-rack hierarchy: link
+  // and compute multipliers reprice seconds, but the wire-volume closed
+  // forms are speed-independent — transport totals must still equal the
+  // thread-backed World's counters exactly.
+  Benchmark b = make_cnn_classification(0.1);
+  TrainConfig cfg = small_config(b, 5);
+  cfg.grace.compressor_spec = "topk(0.25)";
+  cfg.grace.topology.kind = comm::TopologyKind::Hierarchical;
+  cfg.grace.topology.ranks_per_rack = 2;
+  std::vector<comm::LinkProfile> lp(5);
+  lp[1].bandwidth_scale = 0.5;  // one throttled link
+  lp[3].compute_scale = 3.0;    // one straggling device
+  lp[4].latency_scale = 5.0;    // one long-haul member
+  cfg.fleet = comm::FleetProfile(std::move(lp), "mixed-rack");
+  ASSERT_FALSE(cfg.fleet.uniform());
+
+  RunResult real = train(b.factory, cfg);
+  ScaleResult sim = simulate_scale(b.factory, cfg);
+  EXPECT_EQ(sim.comm_messages, real.comm_messages);
+  EXPECT_EQ(sim.comm_payload_bytes, real.comm_payload_bytes);
+  EXPECT_EQ(sim.fleet, "mixed-rack");
+  EXPECT_EQ(sim.fleet_max_compute_scale, 3.0);
+
+  // Straggler pricing: the same config with a uniform fleet must simulate
+  // a faster iteration (and identical transport totals, again).
+  TrainConfig uni = cfg;
+  uni.fleet = comm::FleetProfile();
+  ScaleResult fast = simulate_scale(b.factory, uni);
+  EXPECT_GT(sim.iteration_s, fast.iteration_s);
+  EXPECT_GT(sim.compute_s, fast.compute_s);
+  EXPECT_EQ(sim.comm_messages, fast.comm_messages);
+  EXPECT_EQ(sim.comm_payload_bytes, fast.comm_payload_bytes);
+  EXPECT_EQ(sim.wire_bytes_per_iter, fast.wire_bytes_per_iter);
+}
+
 TEST(SimWorld, SimulatesHundredsOfRanksWithoutThreads) {
   // 256 ranks — far beyond what the thread-backed world can host — must
   // run in the quick tier: the cost is one replica's forward/backward, not

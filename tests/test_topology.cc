@@ -94,6 +94,38 @@ TEST(ParameterServer, TrainsEndToEnd) {
   EXPECT_GT(run.throughput, 0.0);
 }
 
+TEST(Hierarchical, CrashRebindReclampsRaggedRack) {
+  // A crash inside a hierarchical world whose rack spans every rank: the
+  // survivor rebind must re-clamp ranks_per_rack to the shrunken world (5
+  // -> 4) so the two-level cost model never prices a rack larger than the
+  // fleet. The run must finish in sync and replay bit-for-bit.
+  auto b = sim::make_cnn_classification(0.1);
+  sim::TrainConfig cfg = sim::default_config(b);
+  cfg.n_workers = 5;
+  cfg.net.n_workers = 5;
+  cfg.batch_per_worker = 4;
+  cfg.epochs = 3;
+  cfg.optimizer.type = optim::OptimizerType::Sgd;
+  cfg.optimizer.lr = 0.02;
+  cfg.grace.compressor_spec = "topk(0.1)";
+  cfg.grace.topology.kind = comm::TopologyKind::Hierarchical;
+  cfg.grace.topology.ranks_per_rack = 5;  // one rack covering the world
+
+  faults::FaultSpec spec;
+  spec.crash_rank = 4;
+  spec.crash_epoch = 1;
+  spec.crash_iter = 0;
+  faults::FaultPlan plan(spec);
+  cfg.faults = &plan;
+
+  sim::RunResult run = sim::train(b.factory, cfg);
+  EXPECT_EQ(run.faults.crashed_ranks, 1u);
+  EXPECT_TRUE(run.replicas_in_sync);
+  sim::RunResult again = sim::train(b.factory, cfg);
+  EXPECT_EQ(run.parameters_crc32, again.parameters_crc32);
+  EXPECT_EQ(run.final_parameters, again.final_parameters);
+}
+
 TEST(ParameterServer, CostModelChargesServerBottleneck) {
   comm::NetworkModel net;
   net.n_workers = 8;
